@@ -1,0 +1,37 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared workload builders for the google-benchmark suites.
+
+#include <cstdint>
+
+#include "graph/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/prng.hpp"
+
+namespace i2a::bench {
+
+/// Uniform random matrix with the given density and positive values.
+inline sparse::Csr<double> random_matrix(index_t nr, index_t nc,
+                                         double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  sparse::Coo<double> coo(nr, nc);
+  const auto expected =
+      static_cast<std::size_t>(density * static_cast<double>(nr * nc));
+  coo.entries().reserve(expected + 16);
+  for (index_t i = 0; i < nr; ++i) {
+    for (index_t j = 0; j < nc; ++j) {
+      if (rng.chance(density)) coo.push(i, j, rng.uniform(0.5, 9.5));
+    }
+  }
+  return sparse::Csr<double>::from_coo(std::move(coo),
+                                       sparse::DupPolicy::kKeepFirst);
+}
+
+/// Standard Graph500-flavored R-MAT instance used across the suites.
+inline graph::Graph rmat_graph(int scale, index_t edge_factor,
+                               std::uint64_t seed) {
+  return graph::gen::rmat(scale, edge_factor, 0.57, 0.19, 0.19, seed);
+}
+
+}  // namespace i2a::bench

@@ -1,0 +1,83 @@
+/// \file bench_construction.cpp
+/// \brief PERF1: incidence→adjacency construction throughput (the paper's
+///        central operation) across graph families, scales, and the seven
+///        operator pairs.
+///
+/// The paper reports no timings; this suite characterizes the
+/// implementation the way a GABB-venue artifact would: edges/second for
+/// A = Eᵀout ⊕.⊗ Ein as a function of scale, skew, and algebra.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/pairs.hpp"
+#include "bench_common.hpp"
+#include "graph/incidence.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace {
+
+using namespace i2a;
+
+template <typename P>
+void construction_bench(benchmark::State& state, const P& p,
+                        const graph::Graph& g) {
+  const auto inc = graph::incidence_arrays(g, p);
+  for (auto _ : state) {
+    auto a = graph::adjacency_array(p, inc);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["vertices"] = static_cast<double>(g.num_vertices());
+}
+
+void BM_Construct_RMAT_PlusTimes(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  construction_bench(state, algebra::PlusTimes<double>{}, g);
+}
+BENCHMARK(BM_Construct_RMAT_PlusTimes)->DenseRange(8, 14, 2);
+
+void BM_Construct_RMAT_MinPlus(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  construction_bench(state, algebra::MinPlus<double>{}, g);
+}
+BENCHMARK(BM_Construct_RMAT_MinPlus)->DenseRange(8, 14, 2);
+
+void BM_Construct_RMAT_MaxMin(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  construction_bench(state, algebra::MaxMin<double>{}, g);
+}
+BENCHMARK(BM_Construct_RMAT_MaxMin)->DenseRange(8, 14, 2);
+
+void BM_Construct_ER_PlusTimes(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto g = graph::gen::erdos_renyi(n, 8.0 / static_cast<double>(n), 5);
+  construction_bench(state, algebra::PlusTimes<double>{}, g);
+}
+BENCHMARK(BM_Construct_ER_PlusTimes)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_Construct_Bipartite_PlusTimes(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto g = graph::gen::random_bipartite(n, n, 8, 11);
+  construction_bench(state, algebra::PlusTimes<double>{}, g);
+}
+BENCHMARK(BM_Construct_Bipartite_PlusTimes)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384);
+
+// End-to-end: graph -> incidence arrays -> adjacency (includes the
+// incidence-assembly cost a data pipeline pays).
+void BM_Construct_EndToEnd(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  const algebra::PlusTimes<double> p;
+  for (auto _ : state) {
+    auto a = graph::build_adjacency(g, p);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Construct_EndToEnd)->DenseRange(8, 14, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

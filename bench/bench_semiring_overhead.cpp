@@ -1,0 +1,99 @@
+/// \file bench_semiring_overhead.cpp
+/// \brief PERF4: what does algebra generality cost?
+///
+/// Three ablations on a fixed SpGEMM workload:
+///   * operator pair sweep — the seven paper pairs as compile-time
+///     functors (they should be within noise of each other);
+///   * type erasure — AnyPairD's std::function indirection vs the
+///     templated fast path (the price the runtime-swappable figure
+///     binaries pay);
+///   * value-type width — double vs uint8 Boolean patterns.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "algebra/any_pair.hpp"
+#include "algebra/pairs.hpp"
+#include "bench_common.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace {
+
+using namespace i2a;
+
+constexpr index_t kN = 1024;
+constexpr double kDensity = 0.01;
+
+template <typename P>
+void pair_bench(benchmark::State& state, const P& p) {
+  const auto a = bench::random_matrix(kN, kN, kDensity, 1);
+  const auto b = bench::random_matrix(kN, kN, kDensity, 2);
+  for (auto _ : state) {
+    auto c = sparse::spgemm(p, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_Pair_PlusTimes(benchmark::State& state) {
+  pair_bench(state, algebra::PlusTimes<double>{});
+}
+void BM_Pair_MaxTimes(benchmark::State& state) {
+  pair_bench(state, algebra::MaxTimes<double>{});
+}
+void BM_Pair_MinTimes(benchmark::State& state) {
+  pair_bench(state, algebra::MinTimes<double>{});
+}
+void BM_Pair_MaxPlus(benchmark::State& state) {
+  pair_bench(state, algebra::MaxPlus<double>{});
+}
+void BM_Pair_MinPlus(benchmark::State& state) {
+  pair_bench(state, algebra::MinPlus<double>{});
+}
+void BM_Pair_MaxMin(benchmark::State& state) {
+  pair_bench(state, algebra::MaxMin<double>{});
+}
+void BM_Pair_MinMax(benchmark::State& state) {
+  pair_bench(state, algebra::MinMax<double>{});
+}
+BENCHMARK(BM_Pair_PlusTimes);
+BENCHMARK(BM_Pair_MaxTimes);
+BENCHMARK(BM_Pair_MinTimes);
+BENCHMARK(BM_Pair_MaxPlus);
+BENCHMARK(BM_Pair_MinPlus);
+BENCHMARK(BM_Pair_MaxMin);
+BENCHMARK(BM_Pair_MinMax);
+
+// Type-erased vs templated +.x.
+void BM_Erasure_Static(benchmark::State& state) {
+  pair_bench(state, algebra::PlusTimes<double>{});
+}
+void BM_Erasure_AnyPairD(benchmark::State& state) {
+  pair_bench(state, algebra::AnyPairD::from(algebra::PlusTimes<double>{}));
+}
+BENCHMARK(BM_Erasure_Static);
+BENCHMARK(BM_Erasure_AnyPairD);
+
+// Boolean pattern multiply on uint8 values.
+void BM_ValueWidth_BooleanU8(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  sparse::Coo<std::uint8_t> ca(kN, kN), cb(kN, kN);
+  for (index_t i = 0; i < kN; ++i) {
+    for (index_t j = 0; j < kN; ++j) {
+      if (rng.chance(kDensity)) ca.push(i, j, 1);
+      if (rng.chance(kDensity)) cb.push(i, j, 1);
+    }
+  }
+  const auto a = sparse::Csr<std::uint8_t>::from_coo(std::move(ca));
+  const auto b = sparse::Csr<std::uint8_t>::from_coo(std::move(cb));
+  const algebra::OrAndU8 p;
+  for (auto _ : state) {
+    auto c = sparse::spgemm(p, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ValueWidth_BooleanU8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/// \file bench_spgemm_ablation.cpp
+/// \brief PERF2: SpGEMM algorithm ablation — Gustavson vs hash vs heap vs
+///        the dense full-semantics baseline, across density and shape.
+///
+/// Answers the design questions DESIGN.md calls out: when does the dense
+/// accumulator beat the hash accumulator (narrow B / denser C rows), when
+/// does the heap win (tiny intermediate products), and how large the
+/// sparse-over-dense advantage is.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/pairs.hpp"
+#include "bench_common.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace {
+
+using namespace i2a;
+using sparse::SpGemmAlgo;
+
+void spgemm_bench(benchmark::State& state, SpGemmAlgo algo, index_t n,
+                  double density) {
+  const auto a = bench::random_matrix(n, n, density, 1);
+  const auto b = bench::random_matrix(n, n, density, 2);
+  const algebra::PlusTimes<double> p;
+  std::int64_t flops = 0;
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t k : a.row_cols(i)) flops += b.row_nnz(k);
+  }
+  for (auto _ : state) {
+    auto c = sparse::spgemm(p, a, b, algo);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * flops);
+  state.counters["nnzA"] = static_cast<double>(a.nnz());
+}
+
+void BM_SpGemm_Gustavson(benchmark::State& state) {
+  spgemm_bench(state, SpGemmAlgo::kGustavson, state.range(0),
+               1e-3 * static_cast<double>(state.range(1)));
+}
+void BM_SpGemm_Hash(benchmark::State& state) {
+  spgemm_bench(state, SpGemmAlgo::kHash, state.range(0),
+               1e-3 * static_cast<double>(state.range(1)));
+}
+void BM_SpGemm_Heap(benchmark::State& state) {
+  spgemm_bench(state, SpGemmAlgo::kHeap, state.range(0),
+               1e-3 * static_cast<double>(state.range(1)));
+}
+
+// Density sweep at n=1024: 0.1%, 1%, 5%.
+BENCHMARK(BM_SpGemm_Gustavson)
+    ->Args({1024, 1})
+    ->Args({1024, 10})
+    ->Args({1024, 50});
+BENCHMARK(BM_SpGemm_Hash)
+    ->Args({1024, 1})
+    ->Args({1024, 10})
+    ->Args({1024, 50});
+BENCHMARK(BM_SpGemm_Heap)
+    ->Args({1024, 1})
+    ->Args({1024, 10})
+    ->Args({1024, 50});
+
+// Size sweep at 1% density.
+BENCHMARK(BM_SpGemm_Gustavson)->Args({256, 10})->Args({2048, 10});
+BENCHMARK(BM_SpGemm_Hash)->Args({256, 10})->Args({2048, 10});
+BENCHMARK(BM_SpGemm_Heap)->Args({256, 10})->Args({2048, 10});
+
+// Dense full-semantics baseline (the paper's literal definition) — small
+// sizes only; demonstrates why sparse shortcuts matter.
+void BM_SpGemm_DenseBaseline(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = bench::random_matrix(n, n, 0.01, 1);
+  const auto b = bench::random_matrix(n, n, 0.01, 2);
+  const algebra::PlusTimes<double> p;
+  for (auto _ : state) {
+    auto c = sparse::multiply_full_semantics(p, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SpGemm_DenseBaseline)->Arg(128)->Arg(256)->Arg(512);
+
+// The paper's product shape: tall incidence arrays, Eᵀ E (few columns).
+void BM_SpGemm_IncidenceShape(benchmark::State& state) {
+  const index_t edges = state.range(0);
+  const index_t vertices = edges / 8;
+  const auto eout = bench::random_matrix(edges, vertices, 1.0 / vertices, 3);
+  const auto ein = bench::random_matrix(edges, vertices, 1.0 / vertices, 4);
+  const algebra::PlusTimes<double> p;
+  for (auto _ : state) {
+    auto c = sparse::spgemm_at_b(p, eout, ein);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_SpGemm_IncidenceShape)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

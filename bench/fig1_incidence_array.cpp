@@ -1,0 +1,47 @@
+/// \file fig1_incidence_array.cpp
+/// \brief Regenerate Figure 1: the D4M sparse associative array E for the
+///        Kitten music database — 22 tracks × 31 `field|value` columns.
+///
+/// Verification is structural (DESIGN.md §3.1): exact row/column key sets
+/// and exact per-row nonzero counts; the figure's dot pattern for the
+/// non-Genre/Writer columns is not fully recoverable from the paper text.
+
+#include <iostream>
+
+#include "core/printing.hpp"
+#include "d4m/goldens.hpp"
+#include "d4m/music_dataset.hpp"
+
+int main() {
+  using namespace i2a;
+  const auto e = d4m::music_incidence_array();
+
+  std::cout << "Figure 1 — E = explode(music table): " << e.nrows() << " x "
+            << e.ncols() << ", " << e.nnz() << " nonzeros\n\n";
+  std::cout << core::figure_string(e) << '\n';
+
+  bool ok = true;
+  if (e.row_keys() != d4m::golden::fig1_row_keys()) {
+    std::cout << "[MISMATCH] row key set\n";
+    ok = false;
+  }
+  if (e.col_keys() != d4m::golden::fig1_col_keys()) {
+    std::cout << "[MISMATCH] column key set\n";
+    ok = false;
+  }
+  const auto want_nnz = d4m::golden::fig1_row_nnz();
+  for (index_t i = 0; i < e.nrows(); ++i) {
+    if (e.data().row_nnz(i) != want_nnz[static_cast<std::size_t>(i)]) {
+      std::cout << "[MISMATCH] row "
+                << e.row_keys()[static_cast<std::size_t>(i)] << " has "
+                << e.data().row_nnz(i) << " nonzeros, paper shows "
+                << want_nnz[static_cast<std::size_t>(i)] << '\n';
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::cout << "[VERIFIED] Figure 1 structure (22 row keys, 31 column "
+                 "keys, per-row nonzero counts) matches the paper\n";
+  }
+  return ok ? 0 : 1;
+}

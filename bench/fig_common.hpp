@@ -1,0 +1,60 @@
+#pragma once
+/// \file fig_common.hpp
+/// \brief Shared verification helpers for the figure-reproduction binaries.
+///
+/// Every fig* binary prints the regenerated artifact and then *verifies* it
+/// against the goldens transcribed from the paper (d4m/goldens.hpp),
+/// exiting nonzero on any mismatch — so the benchmark sweep doubles as a
+/// reproduction audit.
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/associative_array.hpp"
+
+namespace i2a::bench {
+
+/// Compare an array's triples against a golden list; print a pass/fail
+/// line and return whether it passed.
+inline bool verify_triples(
+    const std::string& what,
+    const std::vector<core::KeyedTriple<double>>& got,
+    std::vector<core::KeyedTriple<double>> want) {
+  // Goldens are stored in figure order; canonicalize both sides.
+  auto key = [](const core::KeyedTriple<double>& t) {
+    return std::tie(t.row, t.col);
+  };
+  std::sort(want.begin(), want.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  auto got_sorted = got;
+  std::sort(got_sorted.begin(), got_sorted.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  if (got_sorted == want) {
+    std::cout << "[VERIFIED] " << what << " matches the paper (" << want.size()
+              << " entries)\n";
+    return true;
+  }
+  std::cout << "[MISMATCH] " << what << ":\n";
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < std::max(got_sorted.size(), want.size()); ++i) {
+    const bool have_g = i < got_sorted.size();
+    const bool have_w = i < want.size();
+    if (have_g && have_w && got_sorted[i] == want[i]) continue;
+    if (shown++ > 8) break;
+    if (have_g) {
+      std::cout << "  got  (" << got_sorted[i].row << ", " << got_sorted[i].col
+                << ") = " << got_sorted[i].val << '\n';
+    }
+    if (have_w) {
+      std::cout << "  want (" << want[i].row << ", " << want[i].col << ") = "
+                << want[i].val << '\n';
+    }
+  }
+  return false;
+}
+
+}  // namespace i2a::bench
