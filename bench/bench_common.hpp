@@ -12,17 +12,28 @@
 namespace i2a::bench {
 
 /// Uniform random matrix with the given density and positive values.
+/// Geometric gap skipping (util::sample_bernoulli_indices, shared with
+/// graph::gen::erdos_renyi) makes this O(expected nnz) instead of
+/// O(nr * nc) coin flips, so workload setup doesn't dwarf the kernels
+/// being measured.
 inline sparse::Csr<double> random_matrix(index_t nr, index_t nc,
                                          double density, std::uint64_t seed) {
   util::Xoshiro256 rng(seed);
   sparse::Coo<double> coo(nr, nc);
-  const auto expected =
-      static_cast<std::size_t>(density * static_cast<double>(nr * nc));
+  // The nnz estimate converts each factor to double *before* multiplying,
+  // so the reserve hint can't overflow in index_t arithmetic. The sampler
+  // below needs the exact int64 cell count; checked_mul turns the
+  // unsupported >= 2^63-cell regime into a loud error instead of a
+  // silently empty matrix.
+  const auto expected = static_cast<std::size_t>(
+      density * static_cast<double>(nr) * static_cast<double>(nc));
   coo.entries().reserve(expected + 16);
-  for (index_t i = 0; i < nr; ++i) {
-    for (index_t j = 0; j < nc; ++j) {
-      if (rng.chance(density)) coo.push(i, j, rng.uniform(0.5, 9.5));
-    }
+  if (nr > 0 && nc > 0) {
+    util::sample_bernoulli_indices(rng, checked_mul(nr, nc), density,
+                                   [&](index_t t) {
+                                     coo.push(t / nc, t % nc,
+                                              rng.uniform(0.5, 9.5));
+                                   });
   }
   return sparse::Csr<double>::from_coo(std::move(coo),
                                        sparse::DupPolicy::kKeepFirst);

@@ -14,9 +14,18 @@
 #include <string>
 #include <vector>
 
+#include "algebra/properties.hpp"
 #include "core/associative_array.hpp"
 
 namespace i2a::bench {
+
+/// Keys must match exactly; values are compared with the library-wide
+/// relative tolerance (algebra::near) so semiring-product goldens don't
+/// fail on benign floating-point rounding.
+inline bool triple_matches(const core::KeyedTriple<double>& a,
+                           const core::KeyedTriple<double>& b) {
+  return a.row == b.row && a.col == b.col && algebra::near(a.val, b.val);
+}
 
 /// Compare an array's triples against a golden list; print a pass/fail
 /// line and return whether it passed.
@@ -33,25 +42,52 @@ inline bool verify_triples(
   auto got_sorted = got;
   std::sort(got_sorted.begin(), got_sorted.end(),
             [&](const auto& a, const auto& b) { return key(a) < key(b); });
-  if (got_sorted == want) {
+  const bool same_size = got_sorted.size() == want.size();
+  bool equal = same_size;
+  for (std::size_t i = 0; equal && i < want.size(); ++i) {
+    equal = triple_matches(got_sorted[i], want[i]);
+  }
+  if (equal) {
     std::cout << "[VERIFIED] " << what << " matches the paper (" << want.size()
               << " entries)\n";
     return true;
   }
   std::cout << "[MISMATCH] " << what << ":\n";
+  // Merge-diff on the (row, col) keys so a single missing/extra entry
+  // doesn't shift the alignment and drown the report in false pairs.
+  // Show at most 8 mismatches; a differing got/want pair is ONE shown
+  // mismatch, not two.
+  constexpr std::size_t kMaxShown = 8;
   std::size_t shown = 0;
-  for (std::size_t i = 0; i < std::max(got_sorted.size(), want.size()); ++i) {
+  std::size_t i = 0, j = 0;
+  const auto print_got = [&](const core::KeyedTriple<double>& t) {
+    std::cout << "  got  (" << t.row << ", " << t.col << ") = " << t.val
+              << '\n';
+  };
+  const auto print_want = [&](const core::KeyedTriple<double>& t) {
+    std::cout << "  want (" << t.row << ", " << t.col << ") = " << t.val
+              << '\n';
+  };
+  while (i < got_sorted.size() || j < want.size()) {
     const bool have_g = i < got_sorted.size();
-    const bool have_w = i < want.size();
-    if (have_g && have_w && got_sorted[i] == want[i]) continue;
-    if (shown++ > 8) break;
-    if (have_g) {
-      std::cout << "  got  (" << got_sorted[i].row << ", " << got_sorted[i].col
-                << ") = " << got_sorted[i].val << '\n';
+    const bool have_w = j < want.size();
+    if (have_g && have_w && triple_matches(got_sorted[i], want[j])) {
+      ++i;
+      ++j;
+      continue;
     }
-    if (have_w) {
-      std::cout << "  want (" << want[i].row << ", " << want[i].col << ") = "
-                << want[i].val << '\n';
+    if (shown == kMaxShown) {
+      std::cout << "  ... further mismatches suppressed\n";
+      break;
+    }
+    ++shown;
+    if (have_g && have_w && key(got_sorted[i]) == key(want[j])) {
+      print_got(got_sorted[i++]);  // same entry, different value
+      print_want(want[j++]);
+    } else if (have_g && (!have_w || key(got_sorted[i]) < key(want[j]))) {
+      print_got(got_sorted[i++]);  // extra entry the golden lacks
+    } else {
+      print_want(want[j++]);  // golden entry the array is missing
     }
   }
   return false;

@@ -1,0 +1,67 @@
+#pragma once
+/// \file algebra/any_pair.hpp
+/// \brief Type-erased operator pair over double, so the figure binaries
+///        can iterate "for each of the paper's seven pairs" at runtime.
+///
+/// AnyPairD satisfies the same concept as the templated pairs (value_type,
+/// name, zero, one, add, mul), so every kernel templated on a pair accepts
+/// it unchanged — at the cost of a std::function indirection per operation
+/// (measured by the erasure ablation in bench_semiring_overhead).
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/pairs.hpp"
+
+namespace i2a::algebra {
+
+class AnyPairD {
+ public:
+  using value_type = double;
+
+  AnyPairD(std::string name, double zero, double one,
+           std::function<double(double, double)> add,
+           std::function<double(double, double)> mul)
+      : name_(std::move(name)),
+        zero_(zero),
+        one_(one),
+        add_(std::move(add)),
+        mul_(std::move(mul)) {}
+
+  /// Erase any double-valued pair.
+  template <typename P>
+  static AnyPairD from(const P& p) {
+    static_assert(std::is_same_v<typename P::value_type, double>);
+    return AnyPairD(std::string(p.name()), p.zero(), p.one(),
+                    [p](double a, double b) { return p.add(a, b); },
+                    [p](double a, double b) { return p.mul(a, b); });
+  }
+
+  std::string_view name() const { return name_; }
+  double zero() const { return zero_; }
+  double one() const { return one_; }
+  double add(double a, double b) const { return add_(a, b); }
+  double mul(double a, double b) const { return mul_(a, b); }
+
+ private:
+  std::string name_;
+  double zero_;
+  double one_;
+  std::function<double(double, double)> add_;
+  std::function<double(double, double)> mul_;
+};
+
+/// The seven conforming pairs of Table I, in the paper's figure order.
+inline const std::vector<AnyPairD>& paper_pairs() {
+  static const std::vector<AnyPairD> pairs = {
+      AnyPairD::from(PlusTimes<double>{}),  AnyPairD::from(MaxTimes<double>{}),
+      AnyPairD::from(MinTimes<double>{}),   AnyPairD::from(MaxPlus<double>{}),
+      AnyPairD::from(MinPlus<double>{}),    AnyPairD::from(MaxMin<double>{}),
+      AnyPairD::from(MinMax<double>{}),
+  };
+  return pairs;
+}
+
+}  // namespace i2a::algebra

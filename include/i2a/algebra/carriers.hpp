@@ -1,0 +1,68 @@
+#pragma once
+/// \file algebra/carriers.hpp
+/// \brief Carrier (value-set) samples for the property checkers.
+///
+/// Theorem II.1's conditions are statements about an operator pair *over a
+/// carrier set*: max.+ conforms over ℝ∪{-∞} but not over ℝ≥0. A Carrier
+/// is a named finite sample of its set — including the pair's zero, the
+/// extremal elements, and the "troublemakers" (opposite-sign pairs,
+/// disjoint sets) that witness violated lemmas. The checkers quantify over
+/// samples, so a carrier must contain the elements that matter; the ones
+/// below are chosen so every violated property of the Section III
+/// non-examples is witnessed.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algebra/set_algebra.hpp"
+
+namespace i2a::algebra {
+
+template <typename T>
+struct Carrier {
+  std::string name;
+  std::vector<T> samples;
+};
+
+namespace carriers {
+
+inline Carrier<double> nonneg_reals() {
+  return {"nonnegative reals", {0.0, 0.25, 0.5, 1.0, 2.5, 3.0, 7.5, 100.0}};
+}
+
+inline Carrier<double> pos_reals_with_inf() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return {"positive reals + inf", {0.25, 0.5, 1.0, 2.5, 3.0, 7.5, 100.0, inf}};
+}
+
+inline Carrier<double> reals_with_neg_inf() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return {"reals + -inf", {-inf, -7.5, -2.5, -1.0, 0.0, 1.0, 2.5, 7.5}};
+}
+
+inline Carrier<double> reals_with_pos_inf() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return {"reals + inf", {-7.5, -2.5, -1.0, 0.0, 1.0, 2.5, 7.5, inf}};
+}
+
+inline Carrier<double> nonneg_reals_with_inf() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return {"nonnegative reals + inf", {0.0, 0.25, 0.5, 1.0, 2.5, 7.5, inf}};
+}
+
+inline Carrier<double> all_reals() {
+  // Contains x and -x so the zero-sum witness x + (-x) = 0 is sampled.
+  return {"all reals", {-7.5, -2.5, -1.0, 0.0, 1.0, 2.5, 7.5}};
+}
+
+inline Carrier<std::uint8_t> gf2() { return {"GF(2)", {0, 1}}; }
+
+inline Carrier<std::uint64_t> bitsets(int nbits) {
+  return {"subsets of " + sets::to_string(sets::full_mask(nbits)),
+          sets::all_subsets(nbits)};
+}
+
+}  // namespace carriers
+}  // namespace i2a::algebra

@@ -1,0 +1,110 @@
+#pragma once
+/// \file algebra/counterexamples.hpp
+/// \brief Turn each property-violation witness into the lemma's concrete
+///        graph and *demonstrate* the product breaks — the necessity
+///        direction of the validation sweep.
+///
+/// The constructions mirror the lemmas behind Theorem II.1:
+///   * zero-sum witness x ⊕ y = 0  →  two parallel edges whose per-edge
+///     products are x and y; the fold cancels and the edge vanishes.
+///   * zero-divisor witness x ⊗ y = 0  →  one edge with incidence values
+///     x and y; the single product term is zero and the edge vanishes.
+///   * annihilator witness 0 ⊗ x ≠ 0  →  one edge plus an isolated
+///     vertex; the full fold's zero⊗x terms leak a spurious entry at a
+///     non-edge.
+///
+/// Each returned record reports whether the lemma graph actually broke
+/// Definition I.5 under the *full* (dense) product semantics.
+
+#include <string>
+#include <vector>
+
+#include "algebra/properties.hpp"
+#include "graph/graph.hpp"
+#include "graph/incidence.hpp"
+#include "graph/validators.hpp"
+#include "sparse/dense.hpp"
+
+namespace i2a::algebra {
+
+struct Counterexample {
+  std::string property;    ///< which lemma the construction targets
+  bool is_counterexample;  ///< the lemma graph broke the product pattern
+};
+
+namespace detail {
+
+/// Full-semantics product of hand-placed incidence values, checked
+/// against Definition I.5.
+template <typename P>
+bool product_breaks(const P& p, const graph::Graph& g,
+                    const std::vector<typename P::value_type>& out_vals,
+                    const std::vector<typename P::value_type>& in_vals) {
+  using T = typename P::value_type;
+  sparse::Coo<T> eout(g.num_edges(), g.num_vertices());
+  sparse::Coo<T> ein(g.num_edges(), g.num_vertices());
+  for (index_t e = 0; e < g.num_edges(); ++e) {
+    eout.push(e, g.edges()[static_cast<std::size_t>(e)].src,
+              out_vals[static_cast<std::size_t>(e)]);
+    ein.push(e, g.edges()[static_cast<std::size_t>(e)].dst,
+             in_vals[static_cast<std::size_t>(e)]);
+  }
+  const auto a = sparse::multiply_full_semantics(
+      p,
+      sparse::transpose(
+          sparse::Csr<T>::from_coo(std::move(eout),
+                                   sparse::DupPolicy::kKeepFirst)),
+      sparse::Csr<T>::from_coo(std::move(ein), sparse::DupPolicy::kKeepFirst));
+  return !graph::is_adjacency_of(a, g, p.zero()).ok;
+}
+
+}  // namespace detail
+
+/// Build and evaluate a lemma counterexample for every violation witness
+/// recorded by check_properties. Pairs with no witnesses return an empty
+/// list (there is nothing to refute — the conforming case).
+template <typename P>
+std::vector<Counterexample> counterexamples_from_witnesses(
+    const P& p, const PropertyWitnesses<typename P::value_type>& w) {
+  using T = typename P::value_type;
+  std::vector<Counterexample> out;
+
+  if (w.zero_sum.found && !(p.one() == p.zero())) {
+    // Two parallel edges 0 → 1; per-edge products one⊗x = x and
+    // one⊗y = y, so A(0,1) folds to x ⊕ y = zero: the edge disappears.
+    graph::Graph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(0, 1);
+    out.push_back(Counterexample{
+        "zero-sum",
+        detail::product_breaks(p, g, {p.one(), p.one()},
+                               {w.zero_sum.x, w.zero_sum.y})});
+  }
+
+  if (w.zero_divisor.found) {
+    // A single edge 0 → 1 with incidence values x and y: its only
+    // product term is x ⊗ y = zero, so the edge disappears.
+    graph::Graph g(2);
+    g.add_edge(0, 1);
+    out.push_back(Counterexample{
+        "zero-divisor",
+        detail::product_breaks(p, g, std::vector<T>{w.zero_divisor.x},
+                               std::vector<T>{w.zero_divisor.y})});
+  }
+
+  if (w.non_annihilator.found) {
+    // One edge 0 → 1 plus an isolated vertex 2. Under full semantics
+    // A(0,2) = x ⊗ zero, which the broken annihilator leaves nonzero:
+    // a spurious adjacency at a non-edge.
+    graph::Graph g(3);
+    g.add_edge(0, 1);
+    const T x = w.non_annihilator.x;
+    out.push_back(Counterexample{
+        "annihilator",
+        detail::product_breaks(p, g, std::vector<T>{x}, std::vector<T>{x})});
+  }
+
+  return out;
+}
+
+}  // namespace i2a::algebra

@@ -1,0 +1,82 @@
+#pragma once
+/// \file algebra/non_examples.hpp
+/// \brief The Section III non-examples: operator pairs that look like
+///        reasonable semirings but violate one of the algebraic
+///        conditions of Theorem II.1, so Eᵀout ⊕.⊗ Ein can mis-state the
+///        adjacency pattern. Each one breaks a *different* lemma:
+///
+///   SignedPlusTimes      — carrier not zero-sum-free (x + (-x) = 0)
+///   GaloisF2             — xor.and over GF(2): 1 ⊕ 1 = 0 (zero sums)
+///   MaxPlusNonNeg        — max.+ over ℝ≥0: zero = 0 is not a ⊗-annihilator
+///   BitsetUnionIntersect — ∪.∩: disjoint nonempty sets are zero divisors
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+
+#include "algebra/set_algebra.hpp"
+
+namespace i2a::algebra {
+
+/// +.* over *all* reals. Conforms over ℝ≥0 (Table I), but once signed
+/// values are admitted, opposite-signed parallel edges can cancel to an
+/// exact zero and delete an existing edge from the product.
+template <typename T>
+struct SignedPlusTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "+.* (signed)"; }
+  constexpr T zero() const { return T(0); }
+  constexpr T one() const { return T(1); }
+  constexpr T add(T a, T b) const { return a + b; }
+  constexpr T mul(T a, T b) const { return a * b; }
+};
+
+/// GF(2): ⊕ = xor, ⊗ = and over {0, 1}. A field, yet not zero-sum-free —
+/// any even number of parallel edges annihilates itself.
+struct GaloisF2 {
+  using value_type = std::uint8_t;
+  static constexpr std::string_view name() { return "xor.and (GF2)"; }
+  constexpr std::uint8_t zero() const { return 0; }
+  constexpr std::uint8_t one() const { return 1; }
+  constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return static_cast<std::uint8_t>((a ^ b) & 1u);
+  }
+  constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    return static_cast<std::uint8_t>(a & b & 1u);
+  }
+};
+
+/// max.+ restricted to the nonnegative reals. The natural candidate zero
+/// (0, the max-identity on ℝ≥0) fails to annihilate under ⊗ = +, so the
+/// full fold smears every out-edge value across the whole row: spurious
+/// adjacency entries at non-edges. (Conforming max.+ needs -∞, Table I.)
+template <typename T>
+struct MaxPlusNonNeg {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.+ (nonneg)"; }
+  constexpr T zero() const { return T(0); }
+  constexpr T one() const { return T(0); }
+  constexpr T add(T a, T b) const { return std::max(a, b); }
+  constexpr T mul(T a, T b) const { return a + b; }
+};
+
+/// Subsets of {0..nbits-1} under ⊕ = ∪, ⊗ = ∩. A bounded distributive
+/// lattice with identity ∅ and annihilator ∅ — but full of zero divisors.
+class BitsetUnionIntersect {
+ public:
+  using value_type = std::uint64_t;
+
+  explicit BitsetUnionIntersect(int nbits) : nbits_(nbits) {}
+
+  std::string_view name() const { return "union.intersect"; }
+  std::uint64_t zero() const { return 0; }
+  std::uint64_t one() const { return sets::full_mask(nbits_); }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const { return a | b; }
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const { return a & b; }
+  int nbits() const { return nbits_; }
+
+ private:
+  int nbits_;
+};
+
+}  // namespace i2a::algebra

@@ -1,0 +1,112 @@
+#pragma once
+/// \file algebra/pairs.hpp
+/// \brief The seven conforming operator pairs ⊕.⊗ of Table I.
+///
+/// Each pair is a stateless compile-time functor exposing the uniform
+/// interface the kernels template over:
+///
+///   using value_type = T;
+///   name()  — display name matching the goldens ("+.*", "max.min", ...)
+///   zero()  — the additive identity / multiplicative annihilator 0
+///   one()   — the multiplicative identity (used for unweighted incidence
+///             and for building counterexample incidence values)
+///   add(a,b), mul(a,b) — ⊕ and ⊗
+///
+/// The associated carrier sets (algebra/carriers.hpp) matter: e.g. max.*
+/// conforms over the nonnegative reals but not over all reals. The pairs
+/// here only make sense paired with their Table I carriers, which is what
+/// the validation sweep checks.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace i2a::algebra {
+
+template <typename T>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "+.*"; }
+  constexpr T zero() const { return T(0); }
+  constexpr T one() const { return T(1); }
+  constexpr T add(T a, T b) const { return a + b; }
+  constexpr T mul(T a, T b) const { return a * b; }
+};
+
+template <typename T>
+struct MaxTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.*"; }
+  constexpr T zero() const { return T(0); }
+  constexpr T one() const { return T(1); }
+  constexpr T add(T a, T b) const { return std::max(a, b); }
+  constexpr T mul(T a, T b) const { return a * b; }
+};
+
+template <typename T>
+struct MinTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "min.*"; }
+  constexpr T zero() const { return std::numeric_limits<T>::infinity(); }
+  constexpr T one() const { return T(1); }
+  constexpr T add(T a, T b) const { return std::min(a, b); }
+  constexpr T mul(T a, T b) const { return a * b; }
+};
+
+template <typename T>
+struct MaxPlus {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.+"; }
+  constexpr T zero() const { return -std::numeric_limits<T>::infinity(); }
+  constexpr T one() const { return T(0); }
+  constexpr T add(T a, T b) const { return std::max(a, b); }
+  constexpr T mul(T a, T b) const { return a + b; }
+};
+
+template <typename T>
+struct MinPlus {
+  using value_type = T;
+  static constexpr std::string_view name() { return "min.+"; }
+  constexpr T zero() const { return std::numeric_limits<T>::infinity(); }
+  constexpr T one() const { return T(0); }
+  constexpr T add(T a, T b) const { return std::min(a, b); }
+  constexpr T mul(T a, T b) const { return a + b; }
+};
+
+template <typename T>
+struct MaxMin {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.min"; }
+  constexpr T zero() const { return T(0); }
+  constexpr T one() const { return std::numeric_limits<T>::infinity(); }
+  constexpr T add(T a, T b) const { return std::max(a, b); }
+  constexpr T mul(T a, T b) const { return std::min(a, b); }
+};
+
+template <typename T>
+struct MinMax {
+  using value_type = T;
+  static constexpr std::string_view name() { return "min.max"; }
+  constexpr T zero() const { return std::numeric_limits<T>::infinity(); }
+  constexpr T one() const { return T(0); }
+  constexpr T add(T a, T b) const { return std::min(a, b); }
+  constexpr T mul(T a, T b) const { return std::max(a, b); }
+};
+
+/// Boolean pattern algebra on uint8 — the narrow-value ablation subject
+/// in bench_semiring_overhead (and a conforming pair over {0, 1}).
+struct OrAndU8 {
+  using value_type = std::uint8_t;
+  static constexpr std::string_view name() { return "or.and"; }
+  constexpr std::uint8_t zero() const { return 0; }
+  constexpr std::uint8_t one() const { return 1; }
+  constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return a | b;
+  }
+  constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    return a & b;
+  }
+};
+
+}  // namespace i2a::algebra

@@ -1,0 +1,136 @@
+#pragma once
+/// \file algebra/properties.hpp
+/// \brief Empirical property checkers for the Theorem II.1 conditions,
+///        quantified over a finite carrier sample.
+///
+/// A pair ⊕.⊗ over carrier V is *conforming* (sufficient for
+/// pattern-exact adjacency construction) when:
+///   * ⊕ is associative and commutative with identity 0,
+///   * ⊗ is associative with 0 as a two-sided annihilator,
+///   * V is zero-sum-free   (x ⊕ y = 0 ⟹ x = y = 0),
+///   * V has no zero divisors (x ⊗ y = 0 ⟹ x = 0 or y = 0).
+///
+/// The checkers record a concrete witness for each violated condition;
+/// algebra/counterexamples.hpp then turns every witness into the lemma's
+/// two-or-three vertex graph and demonstrates the product actually breaks
+/// (the necessity direction of the sweep).
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "algebra/carriers.hpp"
+
+namespace i2a::algebra {
+
+/// Approximate equality: exact for discrete carriers, tolerant of benign
+/// rounding for floating-point ones (infinities compare exactly).
+template <typename T>
+bool near(T a, T b) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (a == b) return true;
+    if (std::isinf(a) || std::isinf(b)) return false;
+    const T scale = std::max({T(1), std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= T(1e-9) * scale;
+  } else {
+    return a == b;
+  }
+}
+
+template <typename T>
+struct Witness {
+  bool found = false;
+  T x{};
+  T y{};
+};
+
+/// Concrete violation witnesses harvested by check_properties.
+template <typename T>
+struct PropertyWitnesses {
+  Witness<T> zero_sum;         ///< x ⊕ y = 0 with x, y ≠ 0
+  Witness<T> zero_divisor;     ///< x ⊗ y = 0 with x, y ≠ 0
+  Witness<T> non_annihilator;  ///< x with 0 ⊗ x ≠ 0 or x ⊗ 0 ≠ 0
+};
+
+struct PropertyReport {
+  bool add_assoc = true;
+  bool add_comm = true;
+  bool mul_assoc = true;
+  bool mul_comm = true;
+  bool zero_identity = true;
+  bool zero_annihilator = true;
+  bool zero_sum_free = true;
+  bool no_zero_divisors = true;
+  bool distributive = true;  ///< reported, not required by the theorem
+
+  bool conforming() const {
+    return add_assoc && add_comm && mul_assoc && zero_identity &&
+           zero_annihilator && zero_sum_free && no_zero_divisors;
+  }
+};
+
+/// Check every Theorem II.1 condition over all sample pairs/triples of
+/// the carrier. `witnesses` (optional) receives the first concrete
+/// violation found for each lemma-relevant condition.
+template <typename P>
+PropertyReport check_properties(
+    const P& p, const Carrier<typename P::value_type>& carrier,
+    PropertyWitnesses<typename P::value_type>* witnesses = nullptr) {
+  using T = typename P::value_type;
+  PropertyReport rep;
+  const T zero = p.zero();
+  const auto& s = carrier.samples;
+
+  for (const T a : s) {
+    if (!near(p.add(zero, a), a) || !near(p.add(a, zero), a)) {
+      rep.zero_identity = false;
+    }
+    if (!near(p.mul(zero, a), zero) || !near(p.mul(a, zero), zero)) {
+      rep.zero_annihilator = false;
+      if (witnesses && !witnesses->non_annihilator.found && !near(a, zero)) {
+        witnesses->non_annihilator = {true, a, zero};
+      }
+    }
+  }
+
+  for (const T a : s) {
+    for (const T b : s) {
+      if (!near(p.add(a, b), p.add(b, a))) rep.add_comm = false;
+      if (!near(p.mul(a, b), p.mul(b, a))) rep.mul_comm = false;
+      if (!near(a, zero) && !near(b, zero)) {
+        if (near(p.add(a, b), zero)) {
+          rep.zero_sum_free = false;
+          if (witnesses && !witnesses->zero_sum.found) {
+            witnesses->zero_sum = {true, a, b};
+          }
+        }
+        if (near(p.mul(a, b), zero)) {
+          rep.no_zero_divisors = false;
+          if (witnesses && !witnesses->zero_divisor.found) {
+            witnesses->zero_divisor = {true, a, b};
+          }
+        }
+      }
+    }
+  }
+
+  for (const T a : s) {
+    for (const T b : s) {
+      for (const T c : s) {
+        if (!near(p.add(p.add(a, b), c), p.add(a, p.add(b, c)))) {
+          rep.add_assoc = false;
+        }
+        if (!near(p.mul(p.mul(a, b), c), p.mul(a, p.mul(b, c)))) {
+          rep.mul_assoc = false;
+        }
+        if (!near(p.mul(a, p.add(b, c)),
+                  p.add(p.mul(a, b), p.mul(a, c)))) {
+          rep.distributive = false;
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace i2a::algebra

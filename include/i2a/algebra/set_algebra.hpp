@@ -1,0 +1,48 @@
+#pragma once
+/// \file algebra/set_algebra.hpp
+/// \brief Finite power-set carrier helpers for the union.intersect
+///        non-example: subsets of {0, ..., nbits-1} packed into uint64
+///        bitmasks, ⊕ = ∪, ⊗ = ∩, zero = ∅.
+///
+/// Union/intersect over a power set *is* a perfectly good distributive
+/// lattice — what disqualifies it for adjacency construction is that it
+/// has zero divisors (two disjoint nonempty sets intersect to ∅), so an
+/// existing edge can vanish from Eᵀout ⊕.⊗ Ein. See Section III of the
+/// paper and the validation sweep.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace i2a::algebra::sets {
+
+/// Bitmask with the low `nbits` bits set — the universe set.
+inline std::uint64_t full_mask(int nbits) {
+  return nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/// All 2^nbits subsets of the universe, ∅ first.
+inline std::vector<std::uint64_t> all_subsets(int nbits) {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t n = std::uint64_t{1} << nbits;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t s = 0; s < n; ++s) out.push_back(s);
+  return out;
+}
+
+/// "{0,2}"-style rendering for diagnostics.
+inline std::string to_string(std::uint64_t set) {
+  std::string out = "{";
+  bool first = true;
+  for (int b = 0; b < 64; ++b) {
+    if (set & (std::uint64_t{1} << b)) {
+      if (!first) out += ',';
+      out += std::to_string(b);
+      first = false;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace i2a::algebra::sets

@@ -1,0 +1,122 @@
+#pragma once
+/// \file core/associative_array.hpp
+/// \brief D4M-style associative array: a sparse matrix whose rows and
+///        columns are addressed by sorted string keys instead of integer
+///        indices. The figure binaries work in this representation; the
+///        integer-indexed kernels (sparse/) do the arithmetic underneath.
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace i2a::core {
+
+/// One entry of an associative array, addressed by its string keys.
+template <typename T>
+struct KeyedTriple {
+  std::string row;
+  std::string col;
+  T val;
+
+  friend bool operator==(const KeyedTriple&, const KeyedTriple&) = default;
+};
+
+template <typename T>
+class AssocArray {
+ public:
+  AssocArray() = default;
+
+  /// Wrap pre-sorted key vectors around a CSR payload.
+  AssocArray(std::vector<std::string> row_keys,
+             std::vector<std::string> col_keys, sparse::Csr<T> data)
+      : row_keys_(std::move(row_keys)),
+        col_keys_(std::move(col_keys)),
+        data_(std::move(data)) {
+    assert(std::is_sorted(row_keys_.begin(), row_keys_.end()));
+    assert(std::is_sorted(col_keys_.begin(), col_keys_.end()));
+    assert(data_.nrows() == static_cast<index_t>(row_keys_.size()));
+    assert(data_.ncols() == static_cast<index_t>(col_keys_.size()));
+  }
+
+  /// Build from keyed triples: key sets are the distinct keys that occur,
+  /// sorted lexicographically (the D4M convention).
+  static AssocArray from_triples(const std::vector<KeyedTriple<T>>& triples,
+                                 sparse::DupPolicy policy =
+                                     sparse::DupPolicy::kSum) {
+    std::vector<std::string> rows;
+    std::vector<std::string> cols;
+    rows.reserve(triples.size());
+    cols.reserve(triples.size());
+    for (const auto& t : triples) {
+      rows.push_back(t.row);
+      cols.push_back(t.col);
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+    sparse::Coo<T> coo(static_cast<index_t>(rows.size()),
+                       static_cast<index_t>(cols.size()));
+    for (const auto& t : triples) {
+      coo.push(key_index(rows, t.row), key_index(cols, t.col), t.val);
+    }
+    return AssocArray(std::move(rows), std::move(cols),
+                      sparse::Csr<T>::from_coo(std::move(coo), policy));
+  }
+
+  index_t nrows() const { return static_cast<index_t>(row_keys_.size()); }
+  index_t ncols() const { return static_cast<index_t>(col_keys_.size()); }
+  index_t nnz() const { return data_.nnz(); }
+
+  const std::vector<std::string>& row_keys() const { return row_keys_; }
+  const std::vector<std::string>& col_keys() const { return col_keys_; }
+  const sparse::Csr<T>& data() const { return data_; }
+
+  /// Index of `key` in a sorted key vector, or -1 when absent.
+  static index_t find_key(const std::vector<std::string>& keys,
+                          const std::string& key) {
+    const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+    if (it == keys.end() || *it != key) return -1;
+    return static_cast<index_t>(it - keys.begin());
+  }
+
+  /// All stored entries as keyed triples, in row-major key order.
+  std::vector<KeyedTriple<T>> triples() const {
+    std::vector<KeyedTriple<T>> out;
+    out.reserve(static_cast<std::size_t>(data_.nnz()));
+    for (index_t i = 0; i < data_.nrows(); ++i) {
+      const auto cs = data_.row_cols(i);
+      const auto vs = data_.row_vals(i);
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        out.push_back(KeyedTriple<T>{
+            row_keys_[static_cast<std::size_t>(i)],
+            col_keys_[static_cast<std::size_t>(cs[k])], vs[k]});
+      }
+    }
+    return out;
+  }
+
+ private:
+  static index_t key_index(const std::vector<std::string>& keys,
+                           const std::string& key) {
+    const index_t i = find_key(keys, key);
+    assert(i >= 0);
+    return i;
+  }
+
+  std::vector<std::string> row_keys_;
+  std::vector<std::string> col_keys_;
+  sparse::Csr<T> data_;
+};
+
+using AssocArrayD = AssocArray<double>;
+
+}  // namespace i2a::core

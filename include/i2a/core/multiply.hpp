@@ -1,0 +1,59 @@
+#pragma once
+/// \file core/multiply.hpp
+/// \brief Keyed array product A = E1ᵀ ⊕.⊗ E2: rows of the result are
+///        E1's column keys, columns are E2's column keys, and the fold
+///        runs over the *shared* row keys — exactly the figure-3/5
+///        operation "for each track, combine its genre and writer
+///        entries".
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/associative_array.hpp"
+
+namespace i2a::core {
+
+/// Sparse-shortcut keyed product (valid for conforming pairs): only
+/// stored⊗stored terms enter the fold, with first-touch initialization so
+/// no ⊕-identity is assumed. Accepts any pair type — the templated Table
+/// I functors or the type-erased AnyPairD the figure binaries iterate.
+template <typename P, typename T = typename P::value_type>
+AssocArray<T> multiply_at_b(const P& p, const AssocArray<T>& a,
+                            const AssocArray<T>& b) {
+  // Align on shared row keys (both arrays keep sorted key vectors).
+  std::map<std::pair<index_t, index_t>, T> acc;
+  for (std::size_t ra = 0; ra < a.row_keys().size(); ++ra) {
+    const index_t rb =
+        AssocArray<T>::find_key(b.row_keys(), a.row_keys()[ra]);
+    if (rb == -1) continue;
+    const auto acols = a.data().row_cols(static_cast<index_t>(ra));
+    const auto avals = a.data().row_vals(static_cast<index_t>(ra));
+    const auto bcols = b.data().row_cols(rb);
+    const auto bvals = b.data().row_vals(rb);
+    for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+      for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
+        const T term = p.mul(avals[ka], bvals[kb]);
+        const auto key = std::make_pair(acols[ka], bcols[kb]);
+        const auto it = acc.find(key);
+        if (it == acc.end()) {
+          acc.emplace(key, term);
+        } else {
+          it->second = p.add(it->second, term);
+        }
+      }
+    }
+  }
+
+  std::vector<KeyedTriple<T>> triples;
+  triples.reserve(acc.size());
+  for (const auto& [key, val] : acc) {
+    triples.push_back(KeyedTriple<T>{
+        a.col_keys()[static_cast<std::size_t>(key.first)],
+        b.col_keys()[static_cast<std::size_t>(key.second)], val});
+  }
+  return AssocArray<T>::from_triples(triples, sparse::DupPolicy::kKeepFirst);
+}
+
+}  // namespace i2a::core

@@ -1,0 +1,73 @@
+#pragma once
+/// \file core/printing.hpp
+/// \brief Figure-style rendering of associative arrays: aligned grid with
+///        row keys down the left and column keys across the top, blank
+///        cells for absent entries — the closest terminal analogue of the
+///        paper's figure layout.
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/associative_array.hpp"
+
+namespace i2a::core {
+
+namespace detail {
+
+inline std::string value_string(double v) {
+  std::ostringstream os;
+  os << v;  // default format: "1", "2.5", "inf"
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Render the array as an aligned grid. Wide arrays produce long lines;
+/// that is fine for a reproduction dump — verification is done on the
+/// triples, not on this string.
+template <typename T>
+std::string figure_string(const AssocArray<T>& a) {
+  const auto& rows = a.row_keys();
+  const auto& cols = a.col_keys();
+
+  // Cell text for every entry, empty string for holes.
+  std::vector<std::vector<std::string>> cells(
+      rows.size(), std::vector<std::string>(cols.size()));
+  for (index_t i = 0; i < a.data().nrows(); ++i) {
+    const auto cs = a.data().row_cols(i);
+    const auto vs = a.data().row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      cells[static_cast<std::size_t>(i)][static_cast<std::size_t>(cs[k])] =
+          detail::value_string(static_cast<double>(vs[k]));
+    }
+  }
+
+  std::size_t row_w = 0;
+  for (const auto& r : rows) row_w = std::max(row_w, r.size());
+  std::vector<std::size_t> col_w(cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    col_w[j] = cols[j].size();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      col_w[j] = std::max(col_w[j], cells[i][j].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(row_w)) << "";
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    os << "  " << std::setw(static_cast<int>(col_w[j])) << cols[j];
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << std::setw(static_cast<int>(row_w)) << rows[i];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      os << "  " << std::setw(static_cast<int>(col_w[j])) << cells[i][j];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace i2a::core

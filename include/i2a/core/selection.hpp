@@ -1,0 +1,99 @@
+#pragma once
+/// \file core/selection.hpp
+/// \brief D4M-style sub-array selection: `select(a, rowsel, colsel)`
+///        with `":"` (everything), `"lo : hi"` key ranges, and exact
+///        keys — the operation behind E1 = E(:, 'Genre|A : Genre|Z').
+///
+/// Range semantics: a key matches "lo : hi" when lo ≤ key ≤ hi *or* key
+/// starts with hi. The prefix rule makes 'Writer|A : Writer|Z' capture
+/// 'Writer|Zedd' the way the D4M shorthand intends, instead of cutting
+/// the range off at the bare prefix.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/associative_array.hpp"
+
+namespace i2a::core {
+
+namespace detail {
+
+struct Selector {
+  bool all = false;
+  bool range = false;
+  std::string lo;
+  std::string hi;  // exact key when !range
+
+  bool matches(const std::string& key) const {
+    if (all) return true;
+    if (!range) return key == lo;
+    if (key < lo) return false;
+    if (key <= hi) return true;
+    return key.compare(0, hi.size(), hi) == 0;  // prefix-inclusive upper end
+  }
+};
+
+inline Selector parse_selector(std::string_view s) {
+  Selector sel;
+  if (s == ":") {
+    sel.all = true;
+    return sel;
+  }
+  const auto pos = s.find(" : ");
+  if (pos != std::string_view::npos) {
+    sel.range = true;
+    sel.lo = std::string(s.substr(0, pos));
+    sel.hi = std::string(s.substr(pos + 3));
+  } else {
+    sel.lo = std::string(s);
+    sel.hi = sel.lo;
+  }
+  return sel;
+}
+
+}  // namespace detail
+
+/// Sub-array of `a` restricted to the row/column keys matching the
+/// selectors. Key order (and hence index order) is preserved.
+template <typename T>
+AssocArray<T> select(const AssocArray<T>& a, std::string_view rowsel,
+                     std::string_view colsel) {
+  const auto rsel = detail::parse_selector(rowsel);
+  const auto csel = detail::parse_selector(colsel);
+
+  std::vector<std::string> rows;
+  std::vector<index_t> row_map(a.row_keys().size(), index_t{-1});
+  for (std::size_t i = 0; i < a.row_keys().size(); ++i) {
+    if (rsel.matches(a.row_keys()[i])) {
+      row_map[i] = static_cast<index_t>(rows.size());
+      rows.push_back(a.row_keys()[i]);
+    }
+  }
+  std::vector<std::string> cols;
+  std::vector<index_t> col_map(a.col_keys().size(), index_t{-1});
+  for (std::size_t j = 0; j < a.col_keys().size(); ++j) {
+    if (csel.matches(a.col_keys()[j])) {
+      col_map[j] = static_cast<index_t>(cols.size());
+      cols.push_back(a.col_keys()[j]);
+    }
+  }
+
+  sparse::Coo<T> coo(static_cast<index_t>(rows.size()),
+                     static_cast<index_t>(cols.size()));
+  for (index_t i = 0; i < a.data().nrows(); ++i) {
+    if (row_map[static_cast<std::size_t>(i)] == -1) continue;
+    const auto cs = a.data().row_cols(i);
+    const auto vs = a.data().row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const index_t cj = col_map[static_cast<std::size_t>(cs[k])];
+      if (cj == -1) continue;
+      coo.push(row_map[static_cast<std::size_t>(i)], cj, vs[k]);
+    }
+  }
+  return AssocArray<T>(std::move(rows), std::move(cols),
+                       sparse::Csr<T>::from_coo(std::move(coo),
+                                                sparse::DupPolicy::kKeepFirst));
+}
+
+}  // namespace i2a::core

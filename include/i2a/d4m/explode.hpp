@@ -1,0 +1,37 @@
+#pragma once
+/// \file d4m/explode.hpp
+/// \brief The D4M "explode" transform: a dense table with (row, field,
+///        value) cells becomes a sparse associative array whose columns
+///        are `field|value` pairs — the step that turns the music table
+///        into the Figure 1 incidence array E.
+
+#include <string>
+#include <vector>
+
+#include "core/associative_array.hpp"
+
+namespace i2a::d4m {
+
+struct TableCell {
+  std::string row;
+  std::string field;
+  std::string value;
+};
+
+/// Explode table cells into an associative array: entry
+/// (row, field|value) = `entry_value` for every cell. A row with two
+/// cells in one field (e.g. two writers) simply gets two nonzeros —
+/// that's the D4M multi-value convention.
+inline core::AssocArrayD explode(const std::vector<TableCell>& cells,
+                                 double entry_value = 1.0) {
+  std::vector<core::KeyedTriple<double>> triples;
+  triples.reserve(cells.size());
+  for (const auto& c : cells) {
+    triples.push_back(
+        core::KeyedTriple<double>{c.row, c.field + "|" + c.value, entry_value});
+  }
+  return core::AssocArrayD::from_triples(triples,
+                                         sparse::DupPolicy::kKeepFirst);
+}
+
+}  // namespace i2a::d4m

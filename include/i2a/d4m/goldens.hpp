@@ -1,0 +1,297 @@
+#pragma once
+/// \file d4m/goldens.hpp
+/// \brief Golden data for Figures 1–5, transcribed *independently* of the
+///        generator in music_dataset.hpp — double-entry bookkeeping for
+///        the reproduction. The fig binaries regenerate each artifact
+///        through the library (explode → select → keyed product) and
+///        diff it against these literals.
+///
+/// Figure 3/5 goldens are stored as the published +.* count array (how
+/// many tracks in genre g credit writer w) plus the figures' per-pair
+/// closed forms over those counts with all-ones (Fig 3) or Pop→2/Rock→3
+/// (Fig 5) incidence weights. For constant per-genre weight q and n
+/// co-occurrences the published arrays are:
+///   +.* : n·q    max.* / min.* : q    max.+ / min.+ : q + 1
+///   max.min : 1  min.max : q
+/// which the DESIGN.md §3.1 policy derivation spells out.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/associative_array.hpp"
+
+namespace i2a::d4m::golden {
+
+/// Figure 1 row key set: the 22 track titles, lexicographic.
+inline const std::vector<std::string>& fig1_row_keys() {
+  static const std::vector<std::string> keys = {
+      "Apples & Cherries",
+      "Chinatown",
+      "Christina",
+      "Clarity",
+      "Cut It Out",
+      "Cut It Out (Bandayde Remix)",
+      "Doubt",
+      "G#",
+      "Graffiti Soul",
+      "I'll Be Your Girl",
+      "Japanese Eyes",
+      "Junk",
+      "Kill the Light",
+      "Kitten with a Whip",
+      "Like a Stranger",
+      "Like a Stranger (Bandayde Remix)",
+      "Sensible",
+      "Spectrum",
+      "Stay the Night",
+      "Sugar",
+      "Why I Wait",
+      "Yesterday",
+  };
+  return keys;
+}
+
+/// Figure 1 column key set: the 31 `field|value` columns, lexicographic.
+inline const std::vector<std::string>& fig1_col_keys() {
+  static const std::vector<std::string> keys = {
+      "Artist|Bandayde",
+      "Artist|Kitten",
+      "Artist|Zedd",
+      "Date|2010",
+      "Date|2011",
+      "Date|2012",
+      "Date|2013",
+      "Date|2014",
+      "Duration|2:30",
+      "Duration|2:59",
+      "Duration|3:05",
+      "Duration|3:12",
+      "Duration|3:26",
+      "Duration|3:40",
+      "Duration|4:02",
+      "Duration|4:31",
+      "Genre|Electronic",
+      "Genre|Pop",
+      "Genre|Rock",
+      "Writer|Bandayde",
+      "Writer|Bryan Way",
+      "Writer|Chad Anderson",
+      "Writer|Chloe Chaidez",
+      "Writer|Dave Gibson",
+      "Writer|Greg Kurstin",
+      "Writer|Julian Chaidez",
+      "Writer|Lukas Frank",
+      "Writer|Matthew Koma",
+      "Writer|Nick Johns",
+      "Writer|Waylon Rector",
+      "Writer|Zedd",
+  };
+  return keys;
+}
+
+/// Figure 1 per-row nonzero counts, aligned with fig1_row_keys(): four
+/// single-valued fields plus one entry per writer credit.
+inline const std::vector<index_t>& fig1_row_nnz() {
+  static const std::vector<index_t> nnz = {
+      6, 6, 6, 6, 6, 6, 6, 7, 6, 6, 6, 6, 7, 5, 7, 6, 6, 6, 6, 6, 6, 6,
+  };
+  return nnz;
+}
+
+namespace detail {
+
+struct GenreCell {
+  const char* track;
+  const char* genre;
+};
+
+struct WriterCell {
+  const char* track;
+  const char* writer;
+};
+
+/// Figure 2 E1 as published: each track's single genre mark.
+inline const std::vector<GenreCell>& genre_cells() {
+  static const std::vector<GenreCell> cells = {
+      {"Apples & Cherries", "Rock"},
+      {"Chinatown", "Rock"},
+      {"Christina", "Rock"},
+      {"Clarity", "Electronic"},
+      {"Cut It Out", "Pop"},
+      {"Cut It Out (Bandayde Remix)", "Electronic"},
+      {"Doubt", "Pop"},
+      {"G#", "Pop"},
+      {"Graffiti Soul", "Rock"},
+      {"I'll Be Your Girl", "Pop"},
+      {"Japanese Eyes", "Electronic"},
+      {"Junk", "Rock"},
+      {"Kill the Light", "Rock"},
+      {"Kitten with a Whip", "Rock"},
+      {"Like a Stranger", "Pop"},
+      {"Like a Stranger (Bandayde Remix)", "Electronic"},
+      {"Sensible", "Pop"},
+      {"Spectrum", "Electronic"},
+      {"Stay the Night", "Electronic"},
+      {"Sugar", "Pop"},
+      {"Why I Wait", "Rock"},
+      {"Yesterday", "Rock"},
+  };
+  return cells;
+}
+
+/// Figure 2 E2 as published: the 46 writer credits.
+inline const std::vector<WriterCell>& writer_cells() {
+  static const std::vector<WriterCell> cells = {
+      {"Apples & Cherries", "Chad Anderson"},
+      {"Apples & Cherries", "Chloe Chaidez"},
+      {"Chinatown", "Chloe Chaidez"},
+      {"Chinatown", "Julian Chaidez"},
+      {"Christina", "Chad Anderson"},
+      {"Christina", "Chloe Chaidez"},
+      {"Clarity", "Matthew Koma"},
+      {"Clarity", "Zedd"},
+      {"Cut It Out", "Chloe Chaidez"},
+      {"Cut It Out", "Nick Johns"},
+      {"Cut It Out (Bandayde Remix)", "Bandayde"},
+      {"Cut It Out (Bandayde Remix)", "Chloe Chaidez"},
+      {"Doubt", "Chloe Chaidez"},
+      {"Doubt", "Greg Kurstin"},
+      {"G#", "Chad Anderson"},
+      {"G#", "Chloe Chaidez"},
+      {"G#", "Nick Johns"},
+      {"Graffiti Soul", "Chloe Chaidez"},
+      {"Graffiti Soul", "Waylon Rector"},
+      {"I'll Be Your Girl", "Chloe Chaidez"},
+      {"I'll Be Your Girl", "Dave Gibson"},
+      {"Japanese Eyes", "Chloe Chaidez"},
+      {"Japanese Eyes", "Julian Chaidez"},
+      {"Junk", "Chloe Chaidez"},
+      {"Junk", "Julian Chaidez"},
+      {"Kill the Light", "Chad Anderson"},
+      {"Kill the Light", "Chloe Chaidez"},
+      {"Kill the Light", "Julian Chaidez"},
+      {"Kitten with a Whip", "Chloe Chaidez"},
+      {"Like a Stranger", "Bryan Way"},
+      {"Like a Stranger", "Chloe Chaidez"},
+      {"Like a Stranger", "Dave Gibson"},
+      {"Like a Stranger (Bandayde Remix)", "Bandayde"},
+      {"Like a Stranger (Bandayde Remix)", "Chloe Chaidez"},
+      {"Sensible", "Chloe Chaidez"},
+      {"Sensible", "Lukas Frank"},
+      {"Spectrum", "Matthew Koma"},
+      {"Spectrum", "Zedd"},
+      {"Stay the Night", "Matthew Koma"},
+      {"Stay the Night", "Zedd"},
+      {"Sugar", "Chloe Chaidez"},
+      {"Sugar", "Nick Johns"},
+      {"Why I Wait", "Chloe Chaidez"},
+      {"Why I Wait", "Waylon Rector"},
+      {"Yesterday", "Chloe Chaidez"},
+      {"Yesterday", "Lukas Frank"},
+  };
+  return cells;
+}
+
+struct ProductCell {
+  const char* genre;
+  const char* writer;
+  double count;  ///< the published +.* (all-ones) entry
+};
+
+/// The Figure 3 +.* array: tracks in genre g credited to writer w.
+inline const std::vector<ProductCell>& product_counts() {
+  static const std::vector<ProductCell> cells = {
+      {"Electronic", "Bandayde", 2},
+      {"Electronic", "Chloe Chaidez", 3},
+      {"Electronic", "Julian Chaidez", 1},
+      {"Electronic", "Matthew Koma", 3},
+      {"Electronic", "Zedd", 3},
+      {"Pop", "Bryan Way", 1},
+      {"Pop", "Chad Anderson", 1},
+      {"Pop", "Chloe Chaidez", 7},
+      {"Pop", "Dave Gibson", 2},
+      {"Pop", "Greg Kurstin", 1},
+      {"Pop", "Lukas Frank", 1},
+      {"Pop", "Nick Johns", 3},
+      {"Rock", "Chad Anderson", 3},
+      {"Rock", "Chloe Chaidez", 9},
+      {"Rock", "Julian Chaidez", 3},
+      {"Rock", "Lukas Frank", 1},
+      {"Rock", "Waylon Rector", 2},
+  };
+  return cells;
+}
+
+/// Figure 4/5 genre weights (Fig 3 uses all-ones).
+inline double genre_weight(const std::string& genre) {
+  if (genre == "Pop") return 2.0;
+  if (genre == "Rock") return 3.0;
+  return 1.0;
+}
+
+/// The per-pair closed form for one product entry: per-genre weight q on
+/// every E1 entry, all-ones E2, n co-occurring tracks.
+inline double product_value(const std::string& pair_name, double q,
+                            double n) {
+  if (pair_name == "+.*") return n * q;
+  if (pair_name == "max.*" || pair_name == "min.*") return q;
+  if (pair_name == "max.+" || pair_name == "min.+") return q + 1.0;
+  if (pair_name == "max.min") return 1.0;
+  if (pair_name == "min.max") return q;
+  throw std::invalid_argument("no golden for operator pair: " + pair_name);
+}
+
+}  // namespace detail
+
+/// Figure 2 E1 golden triples (all-ones genre incidence).
+inline std::vector<core::KeyedTriple<double>> fig2_e1_triples() {
+  std::vector<core::KeyedTriple<double>> out;
+  for (const auto& c : detail::genre_cells()) {
+    out.push_back(core::KeyedTriple<double>{
+        c.track, std::string("Genre|") + c.genre, 1.0});
+  }
+  return out;
+}
+
+/// Figure 2 E2 golden triples (all-ones writer incidence).
+inline std::vector<core::KeyedTriple<double>> fig2_e2_triples() {
+  std::vector<core::KeyedTriple<double>> out;
+  for (const auto& c : detail::writer_cells()) {
+    out.push_back(core::KeyedTriple<double>{
+        c.track, std::string("Writer|") + c.writer, 1.0});
+  }
+  return out;
+}
+
+/// Figure 4 E1 golden triples: Pop entries 2, Rock entries 3.
+inline std::vector<core::KeyedTriple<double>> fig4_e1_triples() {
+  std::vector<core::KeyedTriple<double>> out;
+  for (const auto& c : detail::genre_cells()) {
+    out.push_back(core::KeyedTriple<double>{
+        c.track, std::string("Genre|") + c.genre,
+        detail::genre_weight(c.genre)});
+  }
+  return out;
+}
+
+enum class ProductFigure {
+  kFig3,  ///< all-ones E1
+  kFig5,  ///< Pop→2 / Rock→3 E1
+};
+
+/// Golden triples for one E1ᵀ ⊕.⊗ E2 array of Figure 3 or 5.
+inline std::vector<core::KeyedTriple<double>> product_triples(
+    ProductFigure fig, const std::string& pair_name) {
+  std::vector<core::KeyedTriple<double>> out;
+  for (const auto& c : detail::product_counts()) {
+    const double q =
+        fig == ProductFigure::kFig5 ? detail::genre_weight(c.genre) : 1.0;
+    out.push_back(core::KeyedTriple<double>{
+        std::string("Genre|") + c.genre, std::string("Writer|") + c.writer,
+        detail::product_value(pair_name, q, c.count)});
+  }
+  return out;
+}
+
+}  // namespace i2a::d4m::golden

@@ -1,0 +1,123 @@
+#pragma once
+/// \file d4m/music_dataset.hpp
+/// \brief The Figure 1 Kitten music database: 22 tracks with Artist,
+///        Date, Duration, Genre, and Writer fields, exploded into a
+///        22 × 31 sparse associative array.
+///
+/// This is the reproduction's transcription of the paper's running D4M
+/// example (the band Kitten's catalogue plus the collaborator tracks that
+/// bring in the Bandayde and Zedd artists): each track carries exactly
+/// one Artist/Date/Duration/Genre cell and one-to-three Writer cells, for
+/// 31 distinct `field|value` columns and 134 nonzeros. The derived
+/// sub-arrays E1 (genres) and E2 (writers) and the Figure 4 re-weighting
+/// (Pop→2, Rock→3) are built from it exactly as the figure captions
+/// describe.
+
+#include <string>
+#include <vector>
+
+#include "core/associative_array.hpp"
+#include "core/selection.hpp"
+#include "d4m/explode.hpp"
+
+namespace i2a::d4m {
+
+struct MusicTrack {
+  const char* title;
+  const char* artist;
+  const char* date;
+  const char* duration;
+  const char* genre;
+  std::vector<const char*> writers;
+};
+
+/// The dense music table (alphabetical by title, as the figure lists it).
+inline const std::vector<MusicTrack>& music_tracks() {
+  static const std::vector<MusicTrack> tracks = {
+      {"Apples & Cherries", "Kitten", "2010", "3:05", "Rock",
+       {"Chloe Chaidez", "Chad Anderson"}},
+      {"Chinatown", "Kitten", "2010", "3:40", "Rock",
+       {"Chloe Chaidez", "Julian Chaidez"}},
+      {"Christina", "Kitten", "2011", "3:12", "Rock",
+       {"Chloe Chaidez", "Chad Anderson"}},
+      {"Clarity", "Zedd", "2012", "4:31", "Electronic",
+       {"Zedd", "Matthew Koma"}},
+      {"Cut It Out", "Kitten", "2012", "3:26", "Pop",
+       {"Chloe Chaidez", "Nick Johns"}},
+      {"Cut It Out (Bandayde Remix)", "Bandayde", "2012", "4:02",
+       "Electronic", {"Chloe Chaidez", "Bandayde"}},
+      {"Doubt", "Kitten", "2013", "3:05", "Pop",
+       {"Chloe Chaidez", "Greg Kurstin"}},
+      {"G#", "Kitten", "2012", "2:59", "Pop",
+       {"Chloe Chaidez", "Nick Johns", "Chad Anderson"}},
+      {"Graffiti Soul", "Kitten", "2014", "4:31", "Rock",
+       {"Chloe Chaidez", "Waylon Rector"}},
+      {"I'll Be Your Girl", "Kitten", "2013", "3:12", "Pop",
+       {"Chloe Chaidez", "Dave Gibson"}},
+      {"Japanese Eyes", "Kitten", "2012", "4:02", "Electronic",
+       {"Chloe Chaidez", "Julian Chaidez"}},
+      {"Junk", "Kitten", "2010", "2:30", "Rock",
+       {"Chloe Chaidez", "Julian Chaidez"}},
+      {"Kill the Light", "Kitten", "2011", "3:40", "Rock",
+       {"Chloe Chaidez", "Chad Anderson", "Julian Chaidez"}},
+      {"Kitten with a Whip", "Kitten", "2011", "2:30", "Rock",
+       {"Chloe Chaidez"}},
+      {"Like a Stranger", "Kitten", "2013", "3:26", "Pop",
+       {"Chloe Chaidez", "Dave Gibson", "Bryan Way"}},
+      {"Like a Stranger (Bandayde Remix)", "Bandayde", "2013", "4:31",
+       "Electronic", {"Chloe Chaidez", "Bandayde"}},
+      {"Sensible", "Kitten", "2014", "3:05", "Pop",
+       {"Chloe Chaidez", "Lukas Frank"}},
+      {"Spectrum", "Zedd", "2012", "4:02", "Electronic",
+       {"Zedd", "Matthew Koma"}},
+      {"Stay the Night", "Zedd", "2013", "3:40", "Electronic",
+       {"Zedd", "Matthew Koma"}},
+      {"Sugar", "Kitten", "2012", "3:12", "Pop",
+       {"Chloe Chaidez", "Nick Johns"}},
+      {"Why I Wait", "Kitten", "2013", "3:26", "Rock",
+       {"Chloe Chaidez", "Waylon Rector"}},
+      {"Yesterday", "Kitten", "2014", "2:59", "Rock",
+       {"Chloe Chaidez", "Lukas Frank"}},
+  };
+  return tracks;
+}
+
+/// Figure 1: E = explode(music table), 22 × 31 with unit entries.
+inline core::AssocArrayD music_incidence_array() {
+  std::vector<TableCell> cells;
+  for (const auto& t : music_tracks()) {
+    cells.push_back(TableCell{t.title, "Artist", t.artist});
+    cells.push_back(TableCell{t.title, "Date", t.date});
+    cells.push_back(TableCell{t.title, "Duration", t.duration});
+    cells.push_back(TableCell{t.title, "Genre", t.genre});
+    for (const char* w : t.writers) {
+      cells.push_back(TableCell{t.title, "Writer", w});
+    }
+  }
+  return explode(cells);
+}
+
+/// Figure 2: E1 = E(:, 'Genre|A : Genre|Z').
+inline core::AssocArrayD music_e1() {
+  return core::select(music_incidence_array(), ":", "Genre|A : Genre|Z");
+}
+
+/// Figure 2: E2 = E(:, 'Writer|A : Writer|Z').
+inline core::AssocArrayD music_e2() {
+  return core::select(music_incidence_array(), ":", "Writer|A : Writer|Z");
+}
+
+/// Figure 4: E1 with Genre|Pop entries re-weighted to 2 and Genre|Rock
+/// entries to 3 (Electronic stays 1).
+inline core::AssocArrayD music_e1_weighted() {
+  const auto e1 = music_e1();
+  auto triples = e1.triples();
+  for (auto& t : triples) {
+    if (t.col == "Genre|Pop") t.val = 2.0;
+    if (t.col == "Genre|Rock") t.val = 3.0;
+  }
+  return core::AssocArrayD::from_triples(triples,
+                                         sparse::DupPolicy::kKeepFirst);
+}
+
+}  // namespace i2a::d4m

@@ -1,0 +1,41 @@
+#pragma once
+/// \file graph/algorithms/bfs.hpp
+/// \brief Level-synchronous BFS over a constructed adjacency array's
+///        nonzero pattern.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace i2a::graph {
+
+/// BFS levels from `src`: level[src] = 0, unreachable vertices = -1.
+/// An entry counts as an edge when its value differs from `zero`.
+template <typename T>
+std::vector<index_t> bfs_levels(const sparse::Csr<T>& a, index_t src, T zero) {
+  const index_t n = a.nrows();
+  std::vector<index_t> level(static_cast<std::size_t>(n), index_t{-1});
+  std::vector<index_t> frontier{src};
+  level[static_cast<std::size_t>(src)] = 0;
+  index_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<index_t> next;
+    for (const index_t u : frontier) {
+      const auto cs = a.row_cols(u);
+      const auto vs = a.row_vals(u);
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        if (vs[k] == zero) continue;
+        const index_t v = cs[k];
+        if (level[static_cast<std::size_t>(v)] == -1) {
+          level[static_cast<std::size_t>(v)] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+}  // namespace i2a::graph

@@ -1,0 +1,43 @@
+#pragma once
+/// \file graph/algorithms/sssp.hpp
+/// \brief Bellman–Ford single-source shortest paths over a min.+
+///        adjacency array (whose entries are already the folded parallel
+///        -edge minima, by construction).
+
+#include <limits>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace i2a::graph {
+
+/// Distances from `src`; unreachable vertices report +inf. The input is
+/// interpreted as a min.+ adjacency array: A(i,j) is the best single-edge
+/// cost i → j, +inf-absent elsewhere.
+inline std::vector<double> sssp_bellman_ford(const sparse::Csr<double>& a,
+                                             index_t src) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const index_t n = a.nrows();
+  std::vector<double> dist(static_cast<std::size_t>(n), inf);
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  for (index_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (index_t u = 0; u < n; ++u) {
+      const double du = dist[static_cast<std::size_t>(u)];
+      if (du == inf) continue;
+      const auto cs = a.row_cols(u);
+      const auto vs = a.row_vals(u);
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        const double cand = du + vs[k];
+        if (cand < dist[static_cast<std::size_t>(cs[k])]) {
+          dist[static_cast<std::size_t>(cs[k])] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace i2a::graph

@@ -1,0 +1,92 @@
+#pragma once
+/// \file graph/generators.hpp
+/// \brief Random graph families for the sweep and the bench suites:
+///        R-MAT (Graph500 flavor), uniform multigraphs, Erdős–Rényi with
+///        geometric skip-sampling, and random bipartite graphs.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace i2a::graph::gen {
+
+/// R-MAT recursive-quadrant generator: n = 2^scale vertices,
+/// n * edge_factor edges, quadrant probabilities (a, b, c, 1-a-b-c).
+/// Duplicates and self-loops are kept — it generates a multigraph.
+inline Graph rmat(int scale, index_t edge_factor, double a, double b, double c,
+                  std::uint64_t seed) {
+  const index_t n = index_t{1} << scale;
+  const index_t m = checked_mul(n, edge_factor);
+  util::Xoshiro256 rng(seed);
+  Graph g(n);
+  for (index_t e = 0; e < m; ++e) {
+    index_t src = 0;
+    index_t dst = 0;
+    for (index_t bit = n >> 1; bit > 0; bit >>= 1) {
+      const double r = rng.unit();
+      if (r < a) {
+        // top-left: neither bit set
+      } else if (r < a + b) {
+        dst |= bit;
+      } else if (r < a + b + c) {
+        src |= bit;
+      } else {
+        src |= bit;
+        dst |= bit;
+      }
+    }
+    g.add_edge(src, dst);
+  }
+  return g;
+}
+
+/// Uniform multigraph: m independent uniform (src, dst) draws — parallel
+/// edges and self-loops occur naturally. The validation sweep's workload.
+inline Graph random_multigraph(index_t n, index_t m, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Graph g(n);
+  if (n <= 0) return g;
+  for (index_t e = 0; e < m; ++e) {
+    g.add_edge(rng.between(0, n - 1), rng.between(0, n - 1));
+  }
+  return g;
+}
+
+/// Directed G(n, p) without self-loops, via geometric gap skipping
+/// (util::sample_bernoulli_indices) so the cost is O(expected edges),
+/// not O(n^2) coin flips.
+inline Graph erdos_renyi(index_t n, double p, std::uint64_t seed) {
+  Graph g(n);
+  if (n <= 0) return g;
+  util::Xoshiro256 rng(seed);
+  util::sample_bernoulli_indices(rng, checked_mul(n, n), p, [&](index_t t) {
+    const index_t i = t / n;
+    const index_t j = t % n;
+    if (i != j) g.add_edge(i, j);
+  });
+  return g;
+}
+
+/// Bipartite multigraph: vertices [0, nl) on the left, [nl, nl+nr) on the
+/// right, nl * deg uniform left→right edges.
+inline Graph random_bipartite(index_t nl, index_t nr, index_t deg,
+                              std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Graph g(nl + nr);
+  if (nl <= 0 || nr <= 0) return g;
+  const index_t m = checked_mul(nl, deg);
+  for (index_t e = 0; e < m; ++e) {
+    g.add_edge(rng.between(0, nl - 1), nl + rng.between(0, nr - 1));
+  }
+  return g;
+}
+
+/// Overwrite every edge weight with a uniform draw from [lo, hi).
+inline void randomize_weights(Graph& g, double lo, double hi,
+                              std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (Edge& e : g.edges()) e.weight = rng.uniform(lo, hi);
+}
+
+}  // namespace i2a::graph::gen

@@ -1,0 +1,51 @@
+#pragma once
+/// \file graph/graph.hpp
+/// \brief Directed multigraph as an edge list — parallel edges,
+///        self-loops, and isolated vertices are all first-class, because
+///        the paper's theorem is precisely about surviving them.
+
+#include <cassert>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace i2a::graph {
+
+struct Edge {
+  index_t src;
+  index_t dst;
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  explicit Graph(index_t num_vertices = 0) : num_vertices_(num_vertices) {}
+
+  index_t num_vertices() const { return num_vertices_; }
+  index_t num_edges() const { return static_cast<index_t>(edges_.size()); }
+
+  void add_edge(index_t src, index_t dst, double weight = 1.0) {
+    assert(src >= 0 && src < num_vertices_);
+    assert(dst >= 0 && dst < num_vertices_);
+    edges_.push_back(Edge{src, dst, weight});
+  }
+
+  std::vector<Edge>& edges() { return edges_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The reverse multigraph: every edge flipped, weights kept.
+  Graph reverse() const {
+    Graph r(num_vertices_);
+    r.edges_.reserve(edges_.size());
+    for (const Edge& e : edges_) {
+      r.edges_.push_back(Edge{e.dst, e.src, e.weight});
+    }
+    return r;
+  }
+
+ private:
+  index_t num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace i2a::graph

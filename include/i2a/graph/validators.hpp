@@ -1,0 +1,81 @@
+#pragma once
+/// \file graph/validators.hpp
+/// \brief Definition I.5 checker: is a given array *the adjacency array
+///        of* a given multigraph?
+///
+/// Definition I.5 is a pattern statement: A (|V| × |V|) is an adjacency
+/// array of G iff A(i, j) is nonzero exactly when G has at least one edge
+/// i → j. Parallel edges collapse to one entry; self-loops sit on the
+/// diagonal. Stored entries whose value equals the algebra's zero element
+/// count as absent — an array that "stores a zero" where an edge should
+/// be is *not* an adjacency array of G.
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sparse/csr.hpp"
+
+namespace i2a::graph {
+
+struct AdjacencyCheck {
+  bool ok = true;
+  std::string detail;  ///< first discrepancy, empty when ok
+};
+
+template <typename T>
+AdjacencyCheck is_adjacency_of(const sparse::Csr<T>& a, const Graph& g,
+                               T zero) {
+  AdjacencyCheck res;
+  const index_t n = g.num_vertices();
+  if (a.nrows() != n || a.ncols() != n) {
+    res.ok = false;
+    std::ostringstream os;
+    os << "shape " << a.nrows() << "x" << a.ncols() << " != " << n << "x" << n;
+    res.detail = os.str();
+    return res;
+  }
+
+  // Distinct (src, dst) pairs of the multigraph.
+  std::vector<std::pair<index_t, index_t>> want;
+  want.reserve(g.edges().size());
+  for (const Edge& e : g.edges()) want.emplace_back(e.src, e.dst);
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+
+  // Stored pattern of A, ignoring explicit zero-element entries.
+  std::vector<std::pair<index_t, index_t>> got;
+  got.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < n; ++i) {
+    const auto cs = a.row_cols(i);
+    const auto vs = a.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      if (!(vs[k] == zero)) got.emplace_back(i, cs[k]);
+    }
+  }
+
+  if (got == want) return res;
+  res.ok = false;
+  // Name the first pair on which the patterns disagree.
+  std::vector<std::pair<index_t, index_t>> missing;
+  std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                      std::back_inserter(missing));
+  std::vector<std::pair<index_t, index_t>> spurious;
+  std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                      std::back_inserter(spurious));
+  std::ostringstream os;
+  if (!missing.empty()) {
+    os << "edge " << missing[0].first << "->" << missing[0].second
+       << " has no nonzero entry";
+  } else if (!spurious.empty()) {
+    os << "spurious nonzero at (" << spurious[0].first << ", "
+       << spurious[0].second << ")";
+  }
+  res.detail = os.str();
+  return res;
+}
+
+}  // namespace i2a::graph

@@ -1,0 +1,43 @@
+#pragma once
+/// \file sparse/coo.hpp
+/// \brief Coordinate-format staging buffer for sparse assembly.
+///
+/// COO is the append-friendly format: generators and the incidence
+/// builders `push` entries in whatever order they discover them, then hand
+/// the buffer to `Csr::from_coo` which sorts, deduplicates, and compresses.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace i2a::sparse {
+
+template <typename T>
+class Coo {
+ public:
+  struct Entry {
+    index_t row;
+    index_t col;
+    T val;
+  };
+
+  Coo(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  std::size_t nnz() const { return entries_.size(); }
+
+  void push(index_t row, index_t col, T val) {
+    entries_.push_back(Entry{row, col, val});
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace i2a::sparse

@@ -1,0 +1,159 @@
+#pragma once
+/// \file sparse/csr.hpp
+/// \brief Compressed sparse row matrix, the workhorse storage for
+///        incidence and adjacency arrays, plus `from_coo` assembly with
+///        explicit duplicate policies and a counting-sort `transpose`.
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/coo.hpp"
+
+namespace i2a::sparse {
+
+/// What `from_coo` does when several pushed entries share one (row, col).
+///
+/// Incidence assembly mostly wants `kKeepFirst` (an edge endpoint has one
+/// value); numeric accumulation wants `kSum`; the lattice semirings want
+/// `kMax`/`kMin`.
+enum class DupPolicy {
+  kSum,        ///< combine duplicates with `+`
+  kKeepFirst,  ///< first pushed entry wins
+  kKeepLast,   ///< last pushed entry wins
+  kMax,        ///< elementwise max
+  kMin,        ///< elementwise min
+};
+
+template <typename T>
+class Csr {
+ public:
+  Csr() : nrows_(0), ncols_(0), row_ptr_{0} {}
+
+  Csr(index_t nrows, index_t ncols, std::vector<index_t> row_ptr,
+      std::vector<index_t> cols, std::vector<T> vals)
+      : nrows_(nrows),
+        ncols_(ncols),
+        row_ptr_(std::move(row_ptr)),
+        cols_(std::move(cols)),
+        vals_(std::move(vals)) {
+    assert(row_ptr_.size() == static_cast<std::size_t>(nrows_) + 1);
+    assert(cols_.size() == vals_.size());
+  }
+
+  /// Sort + deduplicate + compress a COO buffer. Column indices within
+  /// each row come out strictly increasing.
+  static Csr from_coo(Coo<T> coo, DupPolicy policy = DupPolicy::kSum) {
+    auto& e = coo.entries();
+    // Stable sort keeps push order within a (row, col) group, which is
+    // what gives kKeepFirst / kKeepLast their meaning.
+    std::stable_sort(e.begin(), e.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.row != b.row ? a.row < b.row : a.col < b.col;
+                     });
+    std::vector<index_t> row_ptr(static_cast<std::size_t>(coo.nrows()) + 1, 0);
+    std::vector<index_t> cols;
+    std::vector<T> vals;
+    cols.reserve(e.size());
+    vals.reserve(e.size());
+    for (std::size_t i = 0; i < e.size();) {
+      const index_t r = e[i].row;
+      const index_t c = e[i].col;
+      assert(r >= 0 && r < coo.nrows() && c >= 0 && c < coo.ncols());
+      T acc = e[i].val;
+      std::size_t j = i + 1;
+      for (; j < e.size() && e[j].row == r && e[j].col == c; ++j) {
+        switch (policy) {
+          case DupPolicy::kSum: acc = acc + e[j].val; break;
+          case DupPolicy::kKeepFirst: break;
+          case DupPolicy::kKeepLast: acc = e[j].val; break;
+          case DupPolicy::kMax: acc = std::max(acc, e[j].val); break;
+          case DupPolicy::kMin: acc = std::min(acc, e[j].val); break;
+        }
+      }
+      cols.push_back(c);
+      vals.push_back(acc);
+      ++row_ptr[static_cast<std::size_t>(r) + 1];
+      i = j;
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(coo.nrows()); ++r) {
+      row_ptr[r + 1] += row_ptr[r];
+    }
+    return Csr(coo.nrows(), coo.ncols(), std::move(row_ptr), std::move(cols),
+               std::move(vals));
+  }
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  index_t nnz() const { return static_cast<index_t>(cols_.size()); }
+
+  index_t row_nnz(index_t r) const {
+    return row_ptr_[static_cast<std::size_t>(r) + 1] -
+           row_ptr_[static_cast<std::size_t>(r)];
+  }
+
+  /// Column indices of row `r` (strictly increasing).
+  std::span<const index_t> row_cols(index_t r) const {
+    const auto b = static_cast<std::size_t>(row_ptr_[r]);
+    const auto n = static_cast<std::size_t>(row_nnz(r));
+    return std::span<const index_t>(cols_.data() + b, n);
+  }
+
+  /// Values of row `r`, parallel to `row_cols(r)`.
+  std::span<const T> row_vals(index_t r) const {
+    const auto b = static_cast<std::size_t>(row_ptr_[r]);
+    const auto n = static_cast<std::size_t>(row_nnz(r));
+    return std::span<const T>(vals_.data() + b, n);
+  }
+
+  /// Stored value at (r, c), or `missing` when the entry is absent.
+  T at(index_t r, index_t c, T missing) const {
+    const auto cs = row_cols(r);
+    const auto it = std::lower_bound(cs.begin(), cs.end(), c);
+    if (it == cs.end() || *it != c) return missing;
+    return vals_[static_cast<std::size_t>(
+        row_ptr_[r] + (it - cs.begin()))];
+  }
+
+  const std::vector<index_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<index_t>& cols() const { return cols_; }
+  const std::vector<T>& vals() const { return vals_; }
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  std::vector<index_t> row_ptr_;  // size nrows + 1
+  std::vector<index_t> cols_;     // size nnz, sorted within each row
+  std::vector<T> vals_;           // size nnz
+};
+
+/// Transpose via counting sort: O(nnz + nrows + ncols), output rows sorted.
+template <typename T>
+Csr<T> transpose(const Csr<T>& a) {
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(a.ncols()) + 1, 0);
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    ++row_ptr[static_cast<std::size_t>(a.cols()[i]) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(a.ncols()); ++c) {
+    row_ptr[c + 1] += row_ptr[c];
+  }
+  std::vector<index_t> cols(static_cast<std::size_t>(a.nnz()));
+  std::vector<T> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    const auto cs = a.row_cols(r);
+    const auto vs = a.row_vals(r);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const auto slot = static_cast<std::size_t>(cursor[cs[k]]++);
+      cols[slot] = r;
+      vals[slot] = vs[k];
+    }
+  }
+  return Csr<T>(a.ncols(), a.nrows(), std::move(row_ptr), std::move(cols),
+                std::move(vals));
+}
+
+}  // namespace i2a::sparse

@@ -1,0 +1,90 @@
+#pragma once
+/// \file sparse/dense.hpp
+/// \brief Dense arrays and the paper's *full* array-multiplication
+///        semantics: `C(i,j) = ⊕_k A(i,k) ⊗ B(k,j)` folded over **every**
+///        inner index, with absent entries standing in as the zero
+///        element.
+///
+/// Sparse SpGEMM (sparse/spgemm.hpp) shortcuts the fold by skipping
+/// zero⊗x terms — valid exactly when zero is a multiplicative annihilator
+/// and the carrier is zero-sum-free with no zero divisors, which is what
+/// Theorem II.1 requires. The validation sweep therefore runs *this*
+/// literal implementation, so that non-conforming operator pairs (where
+/// the shortcut would hide the breakage) fail honestly.
+
+#include <cassert>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace i2a::sparse {
+
+/// Minimal row-major dense matrix.
+template <typename T>
+class Dense {
+ public:
+  Dense(index_t nrows, index_t ncols, T fill)
+      : nrows_(nrows),
+        ncols_(ncols),
+        data_(static_cast<std::size_t>(nrows) * static_cast<std::size_t>(ncols),
+              fill) {}
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+
+  T& at(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  const T& at(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  std::vector<T> data_;
+};
+
+/// Expand a CSR matrix to dense, filling absent entries with `fill`
+/// (the semiring's zero element when used for full-semantics products).
+template <typename T>
+Dense<T> to_dense(const Csr<T>& a, T fill) {
+  Dense<T> d(a.nrows(), a.ncols(), fill);
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    const auto cs = a.row_cols(r);
+    const auto vs = a.row_vals(r);
+    for (std::size_t k = 0; k < cs.size(); ++k) d.at(r, cs[k]) = vs[k];
+  }
+  return d;
+}
+
+/// The paper's literal product: fold ⊕ over *all* inner indices,
+/// computing zero⊗x terms instead of assuming they vanish. Entries whose
+/// final fold equals the zero element are not stored, so the result's
+/// stored pattern is exactly the product's nonzero pattern.
+template <typename P>
+Csr<typename P::value_type> multiply_full_semantics(
+    const P& p, const Csr<typename P::value_type>& a,
+    const Csr<typename P::value_type>& b) {
+  using T = typename P::value_type;
+  assert(a.ncols() == b.nrows());
+  const T zero = p.zero();
+  const Dense<T> da = to_dense(a, zero);
+  const Dense<T> db = to_dense(b, zero);
+  Coo<T> out(a.nrows(), b.ncols());
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    for (index_t j = 0; j < b.ncols(); ++j) {
+      T acc = zero;
+      for (index_t k = 0; k < a.ncols(); ++k) {
+        acc = p.add(acc, p.mul(da.at(i, k), db.at(k, j)));
+      }
+      if (!(acc == zero)) out.push(i, j, acc);
+    }
+  }
+  return Csr<T>::from_coo(std::move(out), DupPolicy::kKeepFirst);
+}
+
+}  // namespace i2a::sparse

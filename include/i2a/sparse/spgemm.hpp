@@ -1,0 +1,261 @@
+#pragma once
+/// \file sparse/spgemm.hpp
+/// \brief Sparse general matrix-matrix multiply over an arbitrary
+///        operator pair ⊕.⊗, with three accumulator strategies and
+///        optional row-parallel execution.
+///
+/// All three kernels implement the *sparse shortcut* semantics: only
+/// stored⊗stored terms enter the ⊕ fold. By Theorem II.1 this equals the
+/// full fold whenever the pair conforms (zero is an annihilator, the
+/// carrier is zero-sum-free and has no zero divisors) — the seven paper
+/// pairs all qualify. The ablation questions (dense vs hash accumulator,
+/// heap for tiny intermediates) are exercised by bench_spgemm_ablation.
+
+#include <cassert>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace i2a::sparse {
+
+enum class SpGemmAlgo {
+  kGustavson,  ///< dense accumulator + touched-column list (SPA)
+  kHash,       ///< open-addressing hash accumulator per row
+  kHeap,       ///< k-way merge of B rows via a binary heap
+};
+
+namespace detail {
+
+/// Gustavson sparse accumulator: dense value array + generation stamps,
+/// reused across the rows of one chunk.
+template <typename P, typename T>
+void row_product_gustavson(const P& p, const Csr<T>& a, const Csr<T>& b,
+                           index_t i, std::vector<T>& acc,
+                           std::vector<index_t>& stamp, index_t generation,
+                           std::vector<index_t>& touched,
+                           std::vector<index_t>& out_cols,
+                           std::vector<T>& out_vals) {
+  touched.clear();
+  const auto acols = a.row_cols(i);
+  const auto avals = a.row_vals(i);
+  for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+    const index_t k = acols[ka];
+    const T av = avals[ka];
+    const auto bcols = b.row_cols(k);
+    const auto bvals = b.row_vals(k);
+    for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
+      const index_t j = bcols[kb];
+      const T term = p.mul(av, bvals[kb]);
+      if (stamp[static_cast<std::size_t>(j)] != generation) {
+        stamp[static_cast<std::size_t>(j)] = generation;
+        acc[static_cast<std::size_t>(j)] = term;
+        touched.push_back(j);
+      } else {
+        acc[static_cast<std::size_t>(j)] =
+            p.add(acc[static_cast<std::size_t>(j)], term);
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  for (const index_t j : touched) {
+    out_cols.push_back(j);
+    out_vals.push_back(acc[static_cast<std::size_t>(j)]);
+  }
+}
+
+/// Open-addressing (linear probing) hash accumulator, power-of-two sized.
+/// `scratch` is caller-owned chunk-local storage for the sorted emit, so
+/// the sort tail allocates nothing in steady state.
+template <typename P, typename T>
+void row_product_hash(const P& p, const Csr<T>& a, const Csr<T>& b, index_t i,
+                      std::vector<std::pair<index_t, T>>& scratch,
+                      std::vector<index_t>& out_cols, std::vector<T>& out_vals) {
+  // Upper-bound the row's intermediate-product count to size the table.
+  std::size_t prods = 0;
+  for (const index_t k : a.row_cols(i)) {
+    prods += static_cast<std::size_t>(b.row_nnz(k));
+  }
+  if (prods == 0) return;
+  std::size_t cap = 16;
+  while (cap < 2 * prods) cap <<= 1;
+  std::vector<index_t> keys(cap, index_t{-1});
+  std::vector<T> slots(cap);
+
+  const auto acols = a.row_cols(i);
+  const auto avals = a.row_vals(i);
+  for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+    const index_t k = acols[ka];
+    const T av = avals[ka];
+    const auto bcols = b.row_cols(k);
+    const auto bvals = b.row_vals(k);
+    for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
+      const index_t j = bcols[kb];
+      const T term = p.mul(av, bvals[kb]);
+      std::size_t h =
+          (static_cast<std::size_t>(j) * 0x9e3779b97f4a7c15ULL) & (cap - 1);
+      for (;;) {
+        if (keys[h] == j) {
+          slots[h] = p.add(slots[h], term);
+          break;
+        }
+        if (keys[h] == index_t{-1}) {
+          keys[h] = j;
+          slots[h] = term;
+          break;
+        }
+        h = (h + 1) & (cap - 1);
+      }
+    }
+  }
+  // Emit in column order.
+  scratch.clear();
+  for (std::size_t h = 0; h < cap; ++h) {
+    if (keys[h] != index_t{-1}) scratch.emplace_back(keys[h], slots[h]);
+  }
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (const auto& [col, val] : scratch) {
+    out_cols.push_back(col);
+    out_vals.push_back(val);
+  }
+}
+
+/// Heap-based k-way merge: cheap when rows of A are short and the
+/// intermediate product barely exceeds the output.
+template <typename P, typename T>
+void row_product_heap(const P& p, const Csr<T>& a, const Csr<T>& b, index_t i,
+                      std::vector<index_t>& out_cols, std::vector<T>& out_vals) {
+  struct Cursor {
+    index_t col;     // current column in the B row
+    std::size_t ka;  // which A entry this stream belongs to
+    std::size_t pos; // position within the B row
+  };
+  const auto acols = a.row_cols(i);
+  const auto avals = a.row_vals(i);
+  auto cmp = [](const Cursor& x, const Cursor& y) { return x.col > y.col; };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+    const auto bcols = b.row_cols(acols[ka]);
+    if (!bcols.empty()) heap.push(Cursor{bcols[0], ka, 0});
+  }
+  bool open = false;
+  index_t cur_col = 0;
+  T cur_val{};
+  while (!heap.empty()) {
+    const Cursor c = heap.top();
+    heap.pop();
+    const auto brow_cols = b.row_cols(acols[c.ka]);
+    const auto brow_vals = b.row_vals(acols[c.ka]);
+    const T term = p.mul(avals[c.ka], brow_vals[c.pos]);
+    if (open && c.col == cur_col) {
+      cur_val = p.add(cur_val, term);
+    } else {
+      if (open) {
+        out_cols.push_back(cur_col);
+        out_vals.push_back(cur_val);
+      }
+      open = true;
+      cur_col = c.col;
+      cur_val = term;
+    }
+    if (c.pos + 1 < brow_cols.size()) {
+      heap.push(Cursor{brow_cols[c.pos + 1], c.ka, c.pos + 1});
+    }
+  }
+  if (open) {
+    out_cols.push_back(cur_col);
+    out_vals.push_back(cur_val);
+  }
+}
+
+}  // namespace detail
+
+/// C = A ⊕.⊗ B with sparse-shortcut semantics. `pool` enables row-chunk
+/// parallelism (each worker owns a contiguous row range and a private
+/// accumulator); null or single-thread pools run serially.
+template <typename P>
+Csr<typename P::value_type> spgemm(const P& p,
+                                   const Csr<typename P::value_type>& a,
+                                   const Csr<typename P::value_type>& b,
+                                   SpGemmAlgo algo = SpGemmAlgo::kGustavson,
+                                   util::ThreadPool* pool = nullptr) {
+  using T = typename P::value_type;
+  assert(a.ncols() == b.nrows());
+  const index_t nrows = a.nrows();
+  std::vector<std::vector<index_t>> chunk_cols(
+      static_cast<std::size_t>(nrows));
+  std::vector<std::vector<T>> chunk_vals(static_cast<std::size_t>(nrows));
+
+  auto run_rows = [&](index_t begin, index_t end) {
+    // Chunk-local scratch, reused across rows.
+    std::vector<T> acc;
+    std::vector<index_t> stamp;
+    std::vector<index_t> touched;
+    std::vector<std::pair<index_t, T>> hash_scratch;
+    if (algo == SpGemmAlgo::kGustavson) {
+      acc.resize(static_cast<std::size_t>(b.ncols()));
+      stamp.assign(static_cast<std::size_t>(b.ncols()), index_t{-1});
+    }
+    for (index_t i = begin; i < end; ++i) {
+      auto& oc = chunk_cols[static_cast<std::size_t>(i)];
+      auto& ov = chunk_vals[static_cast<std::size_t>(i)];
+      switch (algo) {
+        case SpGemmAlgo::kGustavson:
+          detail::row_product_gustavson(p, a, b, i, acc, stamp, i, touched,
+                                        oc, ov);
+          break;
+        case SpGemmAlgo::kHash:
+          detail::row_product_hash(p, a, b, i, hash_scratch, oc, ov);
+          break;
+        case SpGemmAlgo::kHeap:
+          detail::row_product_heap(p, a, b, i, oc, ov);
+          break;
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(nrows, run_rows);
+  } else {
+    run_rows(0, nrows);
+  }
+
+  // Stitch the per-row results into one CSR.
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(nrows) + 1, 0);
+  for (index_t i = 0; i < nrows; ++i) {
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] +
+        static_cast<index_t>(chunk_cols[static_cast<std::size_t>(i)].size());
+  }
+  const auto total = static_cast<std::size_t>(row_ptr.back());
+  std::vector<index_t> cols(total);
+  std::vector<T> vals(total);
+  for (index_t i = 0; i < nrows; ++i) {
+    const auto& oc = chunk_cols[static_cast<std::size_t>(i)];
+    const auto& ov = chunk_vals[static_cast<std::size_t>(i)];
+    std::copy(oc.begin(), oc.end(),
+              cols.begin() + row_ptr[static_cast<std::size_t>(i)]);
+    std::copy(ov.begin(), ov.end(),
+              vals.begin() + row_ptr[static_cast<std::size_t>(i)]);
+  }
+  return Csr<T>(nrows, b.ncols(), std::move(row_ptr), std::move(cols),
+                std::move(vals));
+}
+
+/// C = Aᵀ ⊕.⊗ B — the paper's product shape (A and B are both tall
+/// edge×vertex incidence arrays). Transpose is counting-sort cheap
+/// relative to the product, so this materializes Aᵀ and reuses spgemm.
+template <typename P>
+Csr<typename P::value_type> spgemm_at_b(
+    const P& p, const Csr<typename P::value_type>& a,
+    const Csr<typename P::value_type>& b,
+    SpGemmAlgo algo = SpGemmAlgo::kGustavson,
+    util::ThreadPool* pool = nullptr) {
+  return spgemm(p, transpose(a), b, algo, pool);
+}
+
+}  // namespace i2a::sparse

@@ -1,0 +1,137 @@
+#pragma once
+/// \file util/thread_pool.hpp
+/// \brief Small fixed-size worker pool with a blocking `parallel_for`.
+///
+/// The SpGEMM kernels only need fork/join row-range parallelism, so the
+/// pool exposes exactly that: `parallel_for(n, fn)` splits [0, n) into
+/// contiguous chunks, runs them on the workers (the calling thread takes a
+/// share too), and returns when every chunk is done. Exceptions from
+/// worker chunks are captured and rethrown on the caller.
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace i2a::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total degree of parallelism; the pool spawns
+  /// `num_threads - 1` workers because the caller participates.
+  explicit ThreadPool(std::size_t num_threads) {
+    const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run `fn(begin, end)` over a partition of [0, n) and wait for all
+  /// chunks. `fn` must be safe to call concurrently on disjoint ranges.
+  void parallel_for(index_t n,
+                    const std::function<void(index_t, index_t)>& fn) {
+    if (n <= 0) return;
+    const auto chunks = static_cast<index_t>(size());
+    if (chunks == 1 || n == 1) {
+      fn(0, n);
+      return;
+    }
+    const index_t step = (n + chunks - 1) / chunks;
+    // Join state lives on the heap and is owned by every worker lambda:
+    // a worker's final notify may run after the caller has already seen
+    // pending == 0, so stack-local state would be a use-after-scope.
+    struct JoinState {
+      std::mutex mu;
+      std::condition_variable cv;
+      index_t pending = 0;
+      std::exception_ptr error;
+    };
+    const auto state = std::make_shared<JoinState>();
+
+    for (index_t begin = step; begin < n; begin += step) {
+      const index_t end = begin + step < n ? begin + step : n;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->pending;
+      }
+      // `fn` is captured by reference but only used before the pending
+      // decrement, which the caller's join waits on.
+      enqueue([state, &fn, begin, end] {
+        try {
+          fn(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) state->error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          --state->pending;
+        }
+        state->cv.notify_one();
+      });
+    }
+    // The caller runs the first chunk instead of idling. Its exception
+    // must not propagate until every worker chunk has drained.
+    try {
+      fn(0, step < n ? step : n);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->pending == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  void enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace i2a::util

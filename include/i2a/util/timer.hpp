@@ -1,0 +1,26 @@
+#pragma once
+/// \file util/timer.hpp
+/// \brief Monotonic wall-clock timer for the validation sweep's per-pair
+///        timing column.
+
+#include <chrono>
+
+namespace i2a::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction (or the last reset()).
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace i2a::util

@@ -1,0 +1,137 @@
+/// \file test_adjacency.cpp
+/// \brief is_adjacency_of on hand-built graphs with self-loops and
+///        parallel edges, the incidence→adjacency construction, and the
+///        reverse-graph corollary.
+
+#include "algebra/pairs.hpp"
+#include "graph/graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/incidence.hpp"
+#include "graph/validators.hpp"
+#include "sparse/dense.hpp"
+#include "test_util.hpp"
+
+using namespace i2a;
+
+namespace {
+
+/// 0→1 (twice, parallel), 1→1 (self-loop), 1→2, 2→0. Vertex 3 isolated.
+graph::Graph hand_graph() {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  return g;
+}
+
+void test_validator_accepts_true_adjacency() {
+  const auto g = hand_graph();
+  // Hand-build the pattern: parallel edges collapse, self-loop on the
+  // diagonal, nothing in row/column 3.
+  sparse::Coo<double> coo(4, 4);
+  coo.push(0, 1, 2.0);
+  coo.push(1, 1, 1.0);
+  coo.push(1, 2, 1.0);
+  coo.push(2, 0, 1.0);
+  const auto a = sparse::Csr<double>::from_coo(std::move(coo));
+  CHECK(graph::is_adjacency_of(a, g, 0.0).ok);
+}
+
+void test_validator_rejects_wrong_patterns() {
+  const auto g = hand_graph();
+  {
+    // Missing the self-loop.
+    sparse::Coo<double> coo(4, 4);
+    coo.push(0, 1, 2.0);
+    coo.push(1, 2, 1.0);
+    coo.push(2, 0, 1.0);
+    const auto a = sparse::Csr<double>::from_coo(std::move(coo));
+    const auto res = graph::is_adjacency_of(a, g, 0.0);
+    CHECK(!res.ok);
+    CHECK(!res.detail.empty());
+  }
+  {
+    // Spurious entry at a non-edge.
+    sparse::Coo<double> coo(4, 4);
+    coo.push(0, 1, 2.0);
+    coo.push(1, 1, 1.0);
+    coo.push(1, 2, 1.0);
+    coo.push(2, 0, 1.0);
+    coo.push(3, 3, 1.0);
+    const auto a = sparse::Csr<double>::from_coo(std::move(coo));
+    CHECK(!graph::is_adjacency_of(a, g, 0.0).ok);
+  }
+  {
+    // A stored entry whose value IS the zero element counts as absent.
+    sparse::Coo<double> coo(4, 4);
+    coo.push(0, 1, 2.0);
+    coo.push(1, 1, 0.0);  // "edge" recorded as an explicit zero
+    coo.push(1, 2, 1.0);
+    coo.push(2, 0, 1.0);
+    const auto a = sparse::Csr<double>::from_coo(std::move(coo));
+    CHECK(!graph::is_adjacency_of(a, g, 0.0).ok);
+  }
+  {
+    // Wrong shape.
+    sparse::Coo<double> coo(3, 3);
+    coo.push(0, 1, 1.0);
+    const auto a = sparse::Csr<double>::from_coo(std::move(coo));
+    CHECK(!graph::is_adjacency_of(a, g, 0.0).ok);
+  }
+}
+
+void test_construction_matches_definition() {
+  const auto g = hand_graph();
+  for (int algo = 0; algo < 3; ++algo) {
+    const auto a = graph::build_adjacency(
+        g, algebra::PlusTimes<double>{}, static_cast<sparse::SpGemmAlgo>(algo));
+    CHECK(graph::is_adjacency_of(a, g, 0.0).ok);
+    // +.* with unit incidence values counts parallel edges.
+    CHECK_EQ(a.at(0, 1, 0.0), 2.0);
+    CHECK_EQ(a.at(1, 1, 0.0), 1.0);
+  }
+  // Full (dense) semantics agrees on a conforming pair.
+  const algebra::MinPlus<double> p;
+  const auto inc = graph::incidence_arrays(g, p);
+  const auto full = sparse::multiply_full_semantics(
+      p, sparse::transpose(inc.eout), inc.ein);
+  CHECK(graph::is_adjacency_of(full, g, p.zero()).ok);
+}
+
+void test_reverse_adjacency() {
+  util::Xoshiro256 rng(21);
+  for (int t = 0; t < 20; ++t) {
+    const auto g = graph::gen::random_multigraph(rng.between(2, 8),
+                                                 rng.between(1, 20), rng.next());
+    const algebra::MaxTimes<double> p;
+    const auto inc = graph::incidence_arrays(g, p);
+    const auto rev = graph::reverse_adjacency_array(p, inc);
+    CHECK(graph::is_adjacency_of(rev, g.reverse(), p.zero()).ok);
+  }
+}
+
+void test_weighted_incidence() {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 2.0);  // parallel edge with a better weight
+  g.add_edge(1, 2, 7.0);
+  const algebra::MinPlus<double> p;
+  const auto a = graph::adjacency_array(p, graph::weighted_incidence_arrays(g, p));
+  // min.+ folds parallel edges to the cheapest weight.
+  CHECK_EQ(a.at(0, 1, p.zero()), 2.0);
+  CHECK_EQ(a.at(1, 2, p.zero()), 7.0);
+  CHECK(graph::is_adjacency_of(a, g, p.zero()).ok);
+}
+
+}  // namespace
+
+int main() {
+  test_validator_accepts_true_adjacency();
+  test_validator_rejects_wrong_patterns();
+  test_construction_matches_definition();
+  test_reverse_adjacency();
+  test_weighted_incidence();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,84 @@
+/// \file test_algebra.cpp
+/// \brief Property checkers: the seven Table I pairs must come out
+///        conforming on their carriers; each Section III non-example must
+///        violate exactly the property its lemma names, and its
+///        counterexample graph must actually break the product.
+
+#include <string>
+
+#include "algebra/any_pair.hpp"
+#include "algebra/carriers.hpp"
+#include "algebra/counterexamples.hpp"
+#include "algebra/non_examples.hpp"
+#include "algebra/pairs.hpp"
+#include "algebra/properties.hpp"
+#include "algebra/set_algebra.hpp"
+#include "test_util.hpp"
+
+using namespace i2a;
+using namespace i2a::algebra;
+
+namespace {
+
+template <typename P>
+void expect_conforming(const P& p, const Carrier<typename P::value_type>& c) {
+  PropertyWitnesses<typename P::value_type> w;
+  const auto rep = check_properties(p, c, &w);
+  CHECK(rep.conforming());
+  // Conforming pairs have nothing to refute.
+  CHECK(counterexamples_from_witnesses(p, w).empty());
+}
+
+template <typename P>
+void expect_broken(const P& p, const Carrier<typename P::value_type>& c,
+                   const std::string& property) {
+  PropertyWitnesses<typename P::value_type> w;
+  const auto rep = check_properties(p, c, &w);
+  CHECK(!rep.conforming());
+  bool hit = false;
+  for (const auto& cx : counterexamples_from_witnesses(p, w)) {
+    if (cx.property == property) hit = cx.is_counterexample;
+  }
+  CHECK(hit);
+}
+
+void test_erased_pair_matches_typed() {
+  const auto typed = PlusTimes<double>{};
+  const auto erased = AnyPairD::from(typed);
+  CHECK_EQ(std::string(erased.name()), std::string(typed.name()));
+  CHECK_EQ(erased.zero(), typed.zero());
+  CHECK_EQ(erased.one(), typed.one());
+  CHECK_EQ(erased.add(2.0, 3.0), 5.0);
+  CHECK_EQ(erased.mul(2.0, 3.0), 6.0);
+  CHECK_EQ(paper_pairs().size(), 7u);
+}
+
+void test_set_algebra_helpers() {
+  CHECK_EQ(sets::full_mask(3), 0b111u);
+  CHECK_EQ(sets::all_subsets(3).size(), 8u);
+  CHECK_EQ(sets::to_string(0b101), std::string("{0,2}"));
+}
+
+}  // namespace
+
+int main() {
+  expect_conforming(PlusTimes<double>{}, carriers::nonneg_reals());
+  expect_conforming(MaxTimes<double>{}, carriers::nonneg_reals());
+  expect_conforming(MinTimes<double>{}, carriers::pos_reals_with_inf());
+  expect_conforming(MaxPlus<double>{}, carriers::reals_with_neg_inf());
+  expect_conforming(MinPlus<double>{}, carriers::reals_with_pos_inf());
+  expect_conforming(MaxMin<double>{}, carriers::nonneg_reals_with_inf());
+  expect_conforming(MinMax<double>{}, carriers::nonneg_reals_with_inf());
+  expect_conforming(OrAndU8{}, carriers::gf2());  // or.and over {0,1}
+
+  // Each non-example breaks a different lemma.
+  expect_broken(SignedPlusTimes<double>{}, carriers::all_reals(), "zero-sum");
+  expect_broken(GaloisF2{}, carriers::gf2(), "zero-sum");
+  expect_broken(MaxPlusNonNeg<double>{}, carriers::nonneg_reals(),
+                "annihilator");
+  expect_broken(BitsetUnionIntersect(3), carriers::bitsets(3), "zero-divisor");
+
+  test_erased_pair_matches_typed();
+  test_set_algebra_helpers();
+  return TEST_MAIN_RESULT();
+}

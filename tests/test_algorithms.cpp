@@ -1,0 +1,154 @@
+/// \file test_algorithms.cpp
+/// \brief The downstream algorithm suite on small hand-checkable graphs:
+///        BFS levels, Bellman–Ford vs APSP, transitive closure, PageRank
+///        sanity, and the masked/unmasked triangle agreement.
+
+#include <cmath>
+
+#include "algebra/pairs.hpp"
+#include "graph/generators.hpp"
+#include "graph/incidence.hpp"
+#include "graph/algorithms/apsp.hpp"
+#include "graph/algorithms/bfs.hpp"
+#include "graph/algorithms/pagerank.hpp"
+#include "graph/algorithms/sssp.hpp"
+#include "graph/algorithms/triangles.hpp"
+#include "test_util.hpp"
+
+using namespace i2a;
+
+namespace {
+
+void test_bfs() {
+  // Path 0→1→2→3 plus a shortcut 0→2; vertex 4 unreachable.
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 2);
+  const auto a = graph::build_adjacency(g, algebra::PlusTimes<double>{});
+  const auto lv = graph::bfs_levels(a, 0, 0.0);
+  CHECK_EQ(lv[0], 0);
+  CHECK_EQ(lv[1], 1);
+  CHECK_EQ(lv[2], 1);  // via the shortcut
+  CHECK_EQ(lv[3], 2);
+  CHECK_EQ(lv[4], -1);
+}
+
+void test_sssp_and_apsp_agree() {
+  graph::Graph g = graph::gen::erdos_renyi(24, 0.2, 17);
+  graph::gen::randomize_weights(g, 0.5, 3.0, 18);
+  const algebra::MinPlus<double> p;
+  const auto a =
+      graph::adjacency_array(p, graph::weighted_incidence_arrays(g, p));
+  const auto all = graph::apsp(a);
+  for (index_t src = 0; src < 4; ++src) {
+    const auto d = graph::sssp_bellman_ford(a, src);
+    for (index_t v = 0; v < a.nrows(); ++v) {
+      if (src == v) continue;  // APSP diagonal is pinned to 0
+      const double x = d[static_cast<std::size_t>(v)];
+      const double y = all.at(src, v);
+      CHECK(x == y || std::abs(x - y) <= 1e-9 * std::max(1.0, std::abs(x)));
+    }
+  }
+}
+
+void test_transitive_closure() {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto a = graph::build_adjacency(g, algebra::PlusTimes<double>{});
+  const auto r = graph::transitive_closure(a, 0.0);
+  CHECK_EQ(r.at(0, 2), 1);  // two-hop path
+  CHECK_EQ(r.at(0, 3), 0);
+  CHECK_EQ(r.at(2, 0), 0);
+}
+
+void test_pagerank() {
+  // Star into vertex 2: it must rank highest; ranks must sum to ~1.
+  graph::Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(3, 2);
+  g.add_edge(2, 0);
+  const auto a = graph::build_adjacency(g, algebra::PlusTimes<double>{});
+  const auto r = graph::pagerank(a, 0.85, 1e-10, 100);
+  double sum = 0.0;
+  for (const double x : r) sum += x;
+  CHECK(std::abs(sum - 1.0) < 1e-6);
+  CHECK(r[2] > r[0] && r[2] > r[1] && r[2] > r[3]);
+}
+
+void test_triangles() {
+  // Two triangles sharing the edge 0-1: {0,1,2} and {0,1,3}; vertex 4
+  // dangles off a non-triangle edge.
+  graph::Graph und(5);
+  const std::pair<int, int> edges[] = {{0, 1}, {0, 2}, {1, 2},
+                                       {0, 3}, {1, 3}, {3, 4}};
+  for (const auto& [u, v] : edges) {
+    und.add_edge(u, v);
+    und.add_edge(v, u);
+  }
+  const auto a = graph::build_adjacency(und, algebra::MaxTimes<double>{});
+  CHECK_EQ(graph::count_triangles(a), 2u);
+  CHECK_EQ(graph::count_triangles_masked(a), 2u);
+
+  // Random symmetric graphs: masked and unmasked must always agree.
+  util::Xoshiro256 rng(77);
+  for (int t = 0; t < 10; ++t) {
+    const auto base = graph::gen::random_multigraph(10, 25, rng.next());
+    graph::Graph sym(base.num_vertices());
+    for (const auto& e : base.edges()) {
+      if (e.src == e.dst) continue;
+      sym.add_edge(e.src, e.dst);
+      sym.add_edge(e.dst, e.src);
+    }
+    const auto s = graph::build_adjacency(sym, algebra::MaxTimes<double>{});
+    CHECK_EQ(graph::count_triangles(s), graph::count_triangles_masked(s));
+  }
+}
+
+void test_explicit_zero_entries_are_not_edges() {
+  // A stored entry whose value equals the zero element is not an edge
+  // (Definition I.5); pagerank and the triangle counters must agree
+  // with the validators on that.
+  sparse::Coo<double> with_zero(3, 3);
+  with_zero.push(0, 1, 1.0);
+  with_zero.push(1, 0, 1.0);
+  with_zero.push(1, 2, 0.0);  // explicit zero: not an edge
+  const auto a = sparse::Csr<double>::from_coo(std::move(with_zero));
+  sparse::Coo<double> without(3, 3);
+  without.push(0, 1, 1.0);
+  without.push(1, 0, 1.0);
+  const auto b = sparse::Csr<double>::from_coo(std::move(without));
+  const auto ra = graph::pagerank(a, 0.85, 1e-12, 200);
+  const auto rb = graph::pagerank(b, 0.85, 1e-12, 200);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    CHECK(std::abs(ra[i] - rb[i]) < 1e-12);
+  }
+
+  // Triangle {0,1,2} with one side stored as an explicit zero: no
+  // triangle under the pattern rule.
+  sparse::Coo<double> tri(3, 3);
+  const std::pair<int, int> sides[] = {{0, 1}, {1, 2}, {0, 2}};
+  for (const auto& [u, v] : sides) {
+    const double w = (u == 0 && v == 2) ? 0.0 : 1.0;
+    tri.push(u, v, w);
+    tri.push(v, u, w);
+  }
+  const auto t = sparse::Csr<double>::from_coo(std::move(tri));
+  CHECK_EQ(graph::count_triangles(t), 0u);
+  CHECK_EQ(graph::count_triangles_masked(t), 0u);
+}
+
+}  // namespace
+
+int main() {
+  test_bfs();
+  test_sssp_and_apsp_agree();
+  test_transitive_closure();
+  test_pagerank();
+  test_triangles();
+  test_explicit_zero_entries_are_not_edges();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,109 @@
+/// \file test_assoc_array.cpp
+/// \brief Keyed associative arrays: explode, selection semantics
+///        (including the prefix-inclusive range upper bound), the keyed
+///        product, and structural invariants of the music dataset.
+
+#include <string>
+
+#include "algebra/any_pair.hpp"
+#include "algebra/pairs.hpp"
+#include "core/associative_array.hpp"
+#include "core/multiply.hpp"
+#include "core/printing.hpp"
+#include "core/selection.hpp"
+#include "d4m/explode.hpp"
+#include "d4m/music_dataset.hpp"
+#include "test_util.hpp"
+
+using namespace i2a;
+
+namespace {
+
+void test_from_triples_sorts_and_dedups() {
+  using core::KeyedTriple;
+  const auto a = core::AssocArrayD::from_triples(
+      {
+          {"r2", "cB", 1.0},
+          {"r1", "cA", 2.0},
+          {"r1", "cA", 5.0},  // duplicate, kSum default
+          {"r1", "cB", 3.0},
+      });
+  CHECK_EQ(a.nrows(), 2);
+  CHECK_EQ(a.ncols(), 2);
+  CHECK_EQ(a.nnz(), 3);
+  CHECK_EQ(a.row_keys()[0], std::string("r1"));
+  CHECK_EQ(a.col_keys()[1], std::string("cB"));
+  const auto t = a.triples();
+  CHECK_EQ(t[0].val, 7.0);  // r1/cA summed
+}
+
+void test_explode() {
+  const auto e = d4m::explode({
+      {"row1", "Genre", "Pop"},
+      {"row1", "Writer", "A"},
+      {"row1", "Writer", "B"},  // multi-valued field: two nonzeros
+      {"row2", "Genre", "Rock"},
+  });
+  CHECK_EQ(e.nrows(), 2);
+  CHECK_EQ(e.ncols(), 4);
+  CHECK_EQ(e.nnz(), 4);
+  CHECK_EQ(e.col_keys()[0], std::string("Genre|Pop"));
+  CHECK_EQ(e.col_keys()[2], std::string("Writer|A"));
+}
+
+void test_selection_range_semantics() {
+  const auto e = d4m::music_incidence_array();
+  const auto genres = core::select(e, ":", "Genre|A : Genre|Z");
+  CHECK_EQ(genres.ncols(), 3);
+  CHECK_EQ(genres.nnz(), 22);  // one genre per track
+  // Prefix-inclusive upper bound: Writer|Zedd must survive 'Writer|Z'.
+  const auto writers = core::select(e, ":", "Writer|A : Writer|Z");
+  CHECK_EQ(writers.ncols(), 12);
+  CHECK(core::AssocArrayD::find_key(writers.col_keys(), "Writer|Zedd") >= 0);
+  // Exact-key and row selection.
+  const auto one = core::select(e, "Sugar", "Genre|Pop");
+  CHECK_EQ(one.nnz(), 1);
+  const auto none = core::select(e, "Sugar", "Genre|Rock");
+  CHECK_EQ(none.nnz(), 0);
+}
+
+void test_music_structure() {
+  const auto e = d4m::music_incidence_array();
+  CHECK_EQ(e.nrows(), 22);
+  CHECK_EQ(e.ncols(), 31);
+  CHECK_EQ(e.nnz(), 134);
+  CHECK(!core::figure_string(e).empty());
+}
+
+void test_keyed_product() {
+  // Tiny hand product: two tracks, one shared genre, two writers.
+  using core::KeyedTriple;
+  const auto e1 = core::AssocArrayD::from_triples({
+      {"t1", "Genre|Pop", 1.0},
+      {"t2", "Genre|Pop", 1.0},
+  });
+  const auto e2 = core::AssocArrayD::from_triples({
+      {"t1", "Writer|A", 1.0},
+      {"t2", "Writer|A", 1.0},
+      {"t2", "Writer|B", 1.0},
+  });
+  const auto plus = core::multiply_at_b(algebra::PlusTimes<double>{}, e1, e2);
+  CHECK_EQ(plus.nnz(), 2);
+  CHECK_EQ(plus.data().at(0, 0, 0.0), 2.0);  // Pop x A: both tracks
+  CHECK_EQ(plus.data().at(0, 1, 0.0), 1.0);  // Pop x B: t2 only
+  // The type-erased pair goes through the same templated path.
+  const auto erased = core::multiply_at_b(
+      algebra::AnyPairD::from(algebra::MaxPlus<double>{}), e1, e2);
+  CHECK_EQ(erased.data().at(0, 0, 0.0), 2.0);  // max(1+1, 1+1)
+}
+
+}  // namespace
+
+int main() {
+  test_from_triples_sorts_and_dedups();
+  test_explode();
+  test_selection_range_semantics();
+  test_music_structure();
+  test_keyed_product();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,34 @@
+#pragma once
+/// \file test_util.hpp
+/// \brief Minimal assert-style harness: CHECK records failures and the
+///        test main returns nonzero if any fired. No framework
+///        dependency, so tier-1 needs nothing beyond the toolchain.
+
+#include <cstdio>
+
+namespace i2a::test {
+inline int failures = 0;
+}
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::printf("CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
+                  #cond);                                                 \
+      ++i2a::test::failures;                                              \
+    }                                                                     \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                    \
+  do {                                                                    \
+    if (!((a) == (b))) {                                                  \
+      std::printf("CHECK_EQ failed at %s:%d: %s == %s\n", __FILE__,       \
+                  __LINE__, #a, #b);                                      \
+      ++i2a::test::failures;                                              \
+    }                                                                     \
+  } while (0)
+
+#define TEST_MAIN_RESULT()                                                \
+  (i2a::test::failures == 0                                               \
+       ? (std::printf("OK\n"), 0)                                         \
+       : (std::printf("%d check(s) FAILED\n", i2a::test::failures), 1))
