@@ -1,15 +1,121 @@
 #pragma once
 /// \file bench_common.hpp
-/// \brief Shared workload builders for the google-benchmark suites.
+/// \brief Shared workload builders for the google-benchmark suites, plus
+///        the machine-readable perf plumbing: a JSON-reporting main
+///        (`run_benchmarks_json`) and an opt-in global allocation counter
+///        (`I2A_BENCH_COUNT_ALLOCS`) that turns heap traffic into a
+///        benchmark counter — the allocs-per-row proxy the SpGEMM engine
+///        work is measured by.
+
+#include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "util/prng.hpp"
 
+#ifdef I2A_BENCH_COUNT_ALLOCS
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 namespace i2a::bench {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+/// Number of global `operator new` calls so far; diff around a region to
+/// count its allocations.
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+}  // namespace i2a::bench
+
+// Replaceable global allocation functions (one TU per bench binary, so
+// defining them in this header is ODR-safe). Counting only — allocation
+// itself stays malloc/free.
+namespace i2a::bench::detail {
+inline void* counted_malloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace i2a::bench::detail
+
+namespace i2a::bench::detail {
+inline void* counted_aligned_alloc(std::size_t size, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace i2a::bench::detail
+
+void* operator new(std::size_t size) {
+  return i2a::bench::detail::counted_malloc(size);
+}
+void* operator new[](std::size_t size) {
+  return i2a::bench::detail::counted_malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  return i2a::bench::detail::counted_aligned_alloc(size, al);
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return i2a::bench::detail::counted_aligned_alloc(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // I2A_BENCH_COUNT_ALLOCS
+
+namespace i2a::bench {
+
+/// Drop-in BENCHMARK_MAIN replacement that records the run to a JSON
+/// file (`--benchmark_out` still wins if the caller passes one), so the
+/// perf trajectory is machine-readable from every invocation:
+///
+///   int main(int argc, char** argv) {
+///     return i2a::bench::run_benchmarks_json(argc, argv,
+///                                            "BENCH_spgemm.json");
+///   }
+inline int run_benchmarks_json(int argc, char** argv,
+                               const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_arg;
+  std::string fmt_arg;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    out_arg = std::string("--benchmark_out=") + default_out;
+    fmt_arg = "--benchmark_out_format=json";
+    args.push_back(out_arg.data());
+    args.push_back(fmt_arg.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 /// Uniform random matrix with the given density and positive values.
 /// Geometric gap skipping (util::sample_bernoulli_indices, shared with

@@ -5,12 +5,14 @@
 ///
 /// The paper reports no timings; this suite characterizes the
 /// implementation the way a GABB-venue artifact would: edges/second for
-/// A = Eᵀout ⊕.⊗ Ein as a function of scale, skew, and algebra.
+/// A = Eᵀout ⊕.⊗ Ein as a function of scale, skew, and algebra — items/s
+/// in the JSON (BENCH_construction.json by default) *is* edges/s, and
+/// `allocs_per_row` tracks heap traffic per adjacency row.
 
-#include <benchmark/benchmark.h>
+#define I2A_BENCH_COUNT_ALLOCS
+#include "bench_common.hpp"
 
 #include "algebra/pairs.hpp"
-#include "bench_common.hpp"
 #include "graph/incidence.hpp"
 #include "sparse/spgemm.hpp"
 
@@ -22,13 +24,20 @@ template <typename P>
 void construction_bench(benchmark::State& state, const P& p,
                         const graph::Graph& g) {
   const auto inc = graph::incidence_arrays(g, p);
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
+    const auto before = bench::alloc_count();
     auto a = graph::adjacency_array(p, inc);
     benchmark::DoNotOptimize(a);
+    allocs += bench::alloc_count() - before;
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
   state.counters["edges"] = static_cast<double>(g.num_edges());
   state.counters["vertices"] = static_cast<double>(g.num_vertices());
+  state.counters["allocs_per_row"] =
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) *
+       static_cast<double>(g.num_vertices() > 0 ? g.num_vertices() : 1));
 }
 
 void BM_Construct_RMAT_PlusTimes(benchmark::State& state) {
@@ -78,6 +87,27 @@ void BM_Construct_EndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_Construct_EndToEnd)->DenseRange(8, 14, 2);
 
+// Repeated-product form: forward + reverse adjacency from one incidence
+// pair with the CSC views prebuilt once — the shape a serving layer that
+// answers both directions amortizes.
+void BM_Construct_PrebuiltViews(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  const algebra::PlusTimes<double> p;
+  const auto inc = graph::incidence_arrays(g, p);
+  const graph::IncidenceViews<double> views(inc);
+  for (auto _ : state) {
+    auto fwd = graph::adjacency_array(p, views, inc);
+    auto rev = graph::reverse_adjacency_array(p, views, inc);
+    benchmark::DoNotOptimize(fwd);
+    benchmark::DoNotOptimize(rev);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_Construct_PrebuiltViews)->DenseRange(8, 14, 2);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return i2a::bench::run_benchmarks_json(argc, argv,
+                                         "BENCH_construction.json");
+}

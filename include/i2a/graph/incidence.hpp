@@ -10,6 +10,7 @@
 /// arrays, and parallel edges are distinct rows — the fold ⊕ merges them
 /// during the product.
 
+#include <cassert>
 #include <utility>
 
 #include "graph/graph.hpp"
@@ -67,13 +68,40 @@ IncidencePair<typename P::value_type> weighted_incidence_arrays(const Graph& g,
   });
 }
 
-/// The paper's construction: A = Eᵀout ⊕.⊗ Ein.
+/// Prebuilt CSC views over both incidence arrays: the fused AᵀB engine
+/// consumes the A operand column-wise, so callers constructing several
+/// adjacency products from one incidence pair (forward + reverse, or an
+/// operator-pair sweep) build the views once and amortize them. Borrows
+/// `inc` — the pair must outlive the views.
+template <typename T>
+struct IncidenceViews {
+  sparse::CscView<T> eout_t;  ///< Eᵀout, the forward-product A operand
+  sparse::CscView<T> ein_t;   ///< Eᵀin, the reverse-product A operand
+  explicit IncidenceViews(const IncidencePair<T>& inc)
+      : eout_t(inc.eout), ein_t(inc.ein) {}
+};
+
+/// The paper's construction: A = Eᵀout ⊕.⊗ Ein, on the fused CSC-view
+/// path (no transpose is ever materialized). kAuto lets the engine pick
+/// the accumulator per row from the symbolic pass's estimates.
 template <typename P>
 sparse::Csr<typename P::value_type> adjacency_array(
     const P& p, const IncidencePair<typename P::value_type>& inc,
-    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kGustavson,
+    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
     util::ThreadPool* pool = nullptr) {
   return sparse::spgemm_at_b(p, inc.eout, inc.ein, algo, pool);
+}
+
+/// Repeated-product form of `adjacency_array` over prebuilt views.
+/// `views` must have been built from this `inc`.
+template <typename P>
+sparse::Csr<typename P::value_type> adjacency_array(
+    const P& p, const IncidenceViews<typename P::value_type>& views,
+    const IncidencePair<typename P::value_type>& inc,
+    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
+    util::ThreadPool* pool = nullptr) {
+  assert(&views.eout_t.base() == &inc.eout);
+  return sparse::spgemm_at_b(p, views.eout_t, inc.ein, algo, pool);
 }
 
 /// Corollary III.1: the adjacency array of the reverse graph is
@@ -81,16 +109,28 @@ sparse::Csr<typename P::value_type> adjacency_array(
 template <typename P>
 sparse::Csr<typename P::value_type> reverse_adjacency_array(
     const P& p, const IncidencePair<typename P::value_type>& inc,
-    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kGustavson,
+    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
     util::ThreadPool* pool = nullptr) {
   return sparse::spgemm_at_b(p, inc.ein, inc.eout, algo, pool);
+}
+
+/// Repeated-product form of `reverse_adjacency_array` over prebuilt
+/// views. `views` must have been built from this `inc`.
+template <typename P>
+sparse::Csr<typename P::value_type> reverse_adjacency_array(
+    const P& p, const IncidenceViews<typename P::value_type>& views,
+    const IncidencePair<typename P::value_type>& inc,
+    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
+    util::ThreadPool* pool = nullptr) {
+  assert(&views.ein_t.base() == &inc.ein);
+  return sparse::spgemm_at_b(p, views.ein_t, inc.eout, algo, pool);
 }
 
 /// End-to-end convenience: graph → incidence arrays → adjacency array.
 template <typename P>
 sparse::Csr<typename P::value_type> build_adjacency(
     const Graph& g, const P& p,
-    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kGustavson,
+    sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
     util::ThreadPool* pool = nullptr) {
   return adjacency_array(p, incidence_arrays(g, p), algo, pool);
 }

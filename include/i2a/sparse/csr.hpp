@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cassert>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -86,6 +88,29 @@ class Csr {
                std::move(vals));
   }
 
+  /// Validating factory: like the raw constructor but rejects malformed
+  /// input with `std::invalid_argument` instead of trusting the caller.
+  /// Use at ingestion boundaries; the kernels assume canonical CSR (the
+  /// SpGEMM symbolic pass sizes rows by it, the heap merge and `at`'s
+  /// binary search require sorted columns).
+  static Csr checked(index_t nrows, index_t ncols,
+                     std::vector<index_t> row_ptr, std::vector<index_t> cols,
+                     std::vector<T> vals) {
+    if (const char* why =
+            invariant_violation(nrows, ncols, row_ptr, cols, vals.size())) {
+      throw std::invalid_argument(std::string("Csr::checked: ") + why);
+    }
+    return Csr(nrows, ncols, std::move(row_ptr), std::move(cols),
+               std::move(vals));
+  }
+
+  /// True iff the storage satisfies every invariant `checked` enforces
+  /// (both call the same validator, so they can never disagree).
+  bool is_canonical() const {
+    return invariant_violation(nrows_, ncols_, row_ptr_, cols_,
+                               vals_.size()) == nullptr;
+  }
+
   index_t nrows() const { return nrows_; }
   index_t ncols() const { return ncols_; }
   index_t nnz() const { return static_cast<index_t>(cols_.size()); }
@@ -123,6 +148,38 @@ class Csr {
   const std::vector<T>& vals() const { return vals_; }
 
  private:
+  /// The one statement of the canonical-CSR invariants: returns nullptr
+  /// when they all hold, else a description of the first violation.
+  /// row_ptr is validated fully before cols is scanned, so a malformed
+  /// row_ptr can never drive an out-of-bounds read.
+  static const char* invariant_violation(index_t nrows, index_t ncols,
+                                         const std::vector<index_t>& row_ptr,
+                                         const std::vector<index_t>& cols,
+                                         std::size_t vals_size) {
+    if (nrows < 0 || ncols < 0) return "negative dimension";
+    if (row_ptr.size() != static_cast<std::size_t>(nrows) + 1) {
+      return "row_ptr size != nrows + 1";
+    }
+    if (cols.size() != vals_size) return "cols/vals size mismatch";
+    if (row_ptr.front() != 0 ||
+        row_ptr.back() != static_cast<index_t>(cols.size())) {
+      return "row_ptr endpoints wrong";
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nrows); ++r) {
+      if (row_ptr[r] > row_ptr[r + 1]) return "row_ptr not monotone";
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nrows); ++r) {
+      for (index_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const index_t c = cols[static_cast<std::size_t>(k)];
+        if (c < 0 || c >= ncols) return "column out of range";
+        if (k > row_ptr[r] && cols[static_cast<std::size_t>(k) - 1] >= c) {
+          return "columns not strictly increasing within a row";
+        }
+      }
+    }
+    return nullptr;
+  }
+
   index_t nrows_;
   index_t ncols_;
   std::vector<index_t> row_ptr_;  // size nrows + 1
@@ -155,5 +212,90 @@ Csr<T> transpose(const Csr<T>& a) {
   return Csr<T>(a.ncols(), a.nrows(), std::move(row_ptr), std::move(cols),
                 std::move(vals));
 }
+
+/// Column-major *view* of a Csr: the same counting sort as `transpose`,
+/// but values are never copied — `val_idx_` maps each (col, row) slot
+/// back into the base matrix's `vals()` array. Row `i` of the view is
+/// column `i` of the base matrix with its row indices sorted increasing,
+/// which is exactly the A-operand access pattern the fused AᵀB product
+/// needs. The view borrows the base matrix: it must not outlive it.
+template <typename T>
+class CscView {
+ public:
+  explicit CscView(const Csr<T>& base)
+      : base_(&base),
+        col_ptr_(static_cast<std::size_t>(base.ncols()) + 1, 0),
+        row_idx_(static_cast<std::size_t>(base.nnz())),
+        val_idx_(static_cast<std::size_t>(base.nnz())) {
+    for (index_t k = 0; k < base.nnz(); ++k) {
+      ++col_ptr_[static_cast<std::size_t>(
+                     base.cols()[static_cast<std::size_t>(k)]) +
+                 1];
+    }
+    for (std::size_t c = 0; c < static_cast<std::size_t>(base.ncols()); ++c) {
+      col_ptr_[c + 1] += col_ptr_[c];
+    }
+    std::vector<index_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+    for (index_t r = 0; r < base.nrows(); ++r) {
+      const auto cs = base.row_cols(r);
+      const index_t base_offset = base.row_ptr()[static_cast<std::size_t>(r)];
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        const auto slot = static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(cs[k])]++);
+        row_idx_[slot] = r;
+        val_idx_[slot] = base_offset + static_cast<index_t>(k);
+      }
+    }
+  }
+
+  /// Shape of the transposed operand this view represents (Aᵀ).
+  index_t nrows() const { return base_->ncols(); }
+  index_t ncols() const { return base_->nrows(); }
+
+  index_t row_nnz(index_t i) const {
+    return col_ptr_[static_cast<std::size_t>(i) + 1] -
+           col_ptr_[static_cast<std::size_t>(i)];
+  }
+
+  /// Base-matrix row indices stored in column `i` (strictly increasing).
+  std::span<const index_t> row_cols(index_t i) const {
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(i)]);
+    return std::span<const index_t>(row_idx_.data() + b,
+                                    static_cast<std::size_t>(row_nnz(i)));
+  }
+
+  /// Gather the values of view row `i` (base column `i`) into `scratch`
+  /// and return a span over them, parallel to `row_cols(i)` — the bulk
+  /// form the SpGEMM kernels use so the per-entry indirection through
+  /// `val_idx_` happens once per row. (The CSR-rows counterpart returns
+  /// its contiguous values directly without touching `scratch`.)
+  std::span<const T> gather_row_vals(index_t i,
+                                     std::vector<T>& scratch) const {
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(i)]);
+    const auto n = static_cast<std::size_t>(row_nnz(i));
+    const auto& base_vals = base_->vals();
+    scratch.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      scratch[k] = base_vals[static_cast<std::size_t>(val_idx_[b + k])];
+    }
+    return std::span<const T>(scratch.data(), n);
+  }
+
+  /// Value parallel to `row_cols(i)[k]`, read through the base matrix.
+  T row_val(index_t i, std::size_t k) const {
+    return base_->vals()[static_cast<std::size_t>(
+        val_idx_[static_cast<std::size_t>(
+                     col_ptr_[static_cast<std::size_t>(i)]) +
+                 k])];
+  }
+
+  const Csr<T>& base() const { return *base_; }
+
+ private:
+  const Csr<T>* base_;
+  std::vector<index_t> col_ptr_;  // size base.ncols() + 1
+  std::vector<index_t> row_idx_;  // size nnz, sorted within each column
+  std::vector<index_t> val_idx_;  // permutation into base.vals()
+};
 
 }  // namespace i2a::sparse

@@ -7,6 +7,12 @@
 /// contiguous chunks, runs them on the workers (the calling thread takes a
 /// share too), and returns when every chunk is done. Exceptions from
 /// worker chunks are captured and rethrown on the caller.
+///
+/// `parallel_for_chunks` additionally hands each chunk its id. The
+/// decomposition is a pure function of (n, size()) — `num_chunks(n)`
+/// predicts it — so callers can preallocate per-chunk scratch once and
+/// reuse it across consecutive passes (the SpGEMM engine's symbolic and
+/// numeric passes share accumulators this way).
 
 #include <condition_variable>
 #include <exception>
@@ -47,14 +53,36 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size() + 1; }
 
+  /// Number of chunks `parallel_for` / `parallel_for_chunks` will use for
+  /// a trip count of `n`: 0 for an empty range, 1 when the pool is
+  /// single-threaded or n == 1, otherwise ceil(n / ceil(n / size())).
+  index_t num_chunks(index_t n) const {
+    if (n <= 0) return 0;
+    const auto chunks = static_cast<index_t>(size());
+    if (chunks == 1 || n == 1) return 1;
+    const index_t step = (n + chunks - 1) / chunks;
+    return (n + step - 1) / step;
+  }
+
   /// Run `fn(begin, end)` over a partition of [0, n) and wait for all
   /// chunks. `fn` must be safe to call concurrently on disjoint ranges.
   void parallel_for(index_t n,
                     const std::function<void(index_t, index_t)>& fn) {
+    parallel_for_chunks(
+        n, [&fn](index_t, index_t begin, index_t end) { fn(begin, end); });
+  }
+
+  /// Like `parallel_for`, but `fn(chunk, begin, end)` also receives the
+  /// chunk id, a dense 0-based index below `num_chunks(n)`. Chunk `c`
+  /// always covers the same row range for a given (n, size()), and no two
+  /// chunks run with the same id, so scratch keyed by chunk id is both
+  /// race-free and deterministic.
+  void parallel_for_chunks(
+      index_t n, const std::function<void(index_t, index_t, index_t)>& fn) {
     if (n <= 0) return;
     const auto chunks = static_cast<index_t>(size());
     if (chunks == 1 || n == 1) {
-      fn(0, n);
+      fn(0, 0, n);
       return;
     }
     const index_t step = (n + chunks - 1) / chunks;
@@ -71,30 +99,44 @@ class ThreadPool {
 
     for (index_t begin = step; begin < n; begin += step) {
       const index_t end = begin + step < n ? begin + step : n;
+      // `fn` is captured by reference but only used before the pending
+      // decrement, which the caller's join waits on. The increment
+      // happens only after a successful enqueue: if the queue push ever
+      // threw, an early increment would strand `pending` nonzero and
+      // deadlock the join. (A transiently negative count while a fast
+      // worker finishes first is fine — the caller only evaluates the
+      // predicate after all increments.)
+      try {
+        enqueue([state, &fn, begin, end, step] {
+          try {
+            fn(begin / step, begin, end);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(state->mu);
+            if (!state->error) state->error = std::current_exception();
+          }
+          {
+            std::lock_guard<std::mutex> lock(state->mu);
+            --state->pending;
+          }
+          state->cv.notify_one();
+        });
+      } catch (...) {
+        // A failed push must not unwind while already-enqueued chunks
+        // still hold their reference to `fn` (and to this frame's
+        // `state` use): drain them, then rethrow the push failure.
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->cv.wait(lock, [&] { return state->pending == 0; });
+        throw;
+      }
       {
         std::lock_guard<std::mutex> lock(state->mu);
         ++state->pending;
       }
-      // `fn` is captured by reference but only used before the pending
-      // decrement, which the caller's join waits on.
-      enqueue([state, &fn, begin, end] {
-        try {
-          fn(begin, end);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(state->mu);
-          if (!state->error) state->error = std::current_exception();
-        }
-        {
-          std::lock_guard<std::mutex> lock(state->mu);
-          --state->pending;
-        }
-        state->cv.notify_one();
-      });
     }
     // The caller runs the first chunk instead of idling. Its exception
     // must not propagate until every worker chunk has drained.
     try {
-      fn(0, step < n ? step : n);
+      fn(0, 0, step < n ? step : n);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state->mu);
       if (!state->error) state->error = std::current_exception();

@@ -84,7 +84,7 @@ void test_validator_rejects_wrong_patterns() {
 
 void test_construction_matches_definition() {
   const auto g = hand_graph();
-  for (int algo = 0; algo < 3; ++algo) {
+  for (int algo = 0; algo < 4; ++algo) {  // incl. kAuto
     const auto a = graph::build_adjacency(
         g, algebra::PlusTimes<double>{}, static_cast<sparse::SpGemmAlgo>(algo));
     CHECK(graph::is_adjacency_of(a, g, 0.0).ok);
