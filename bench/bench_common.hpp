@@ -133,7 +133,7 @@ inline sparse::Csr<double> random_matrix(index_t nr, index_t nc,
   // silently empty matrix.
   const auto expected = static_cast<std::size_t>(
       density * static_cast<double>(nr) * static_cast<double>(nc));
-  coo.entries().reserve(expected + 16);
+  coo.reserve(expected + 16);
   if (nr > 0 && nc > 0) {
     util::sample_bernoulli_indices(rng, checked_mul(nr, nc), density,
                                    [&](index_t t) {

@@ -4,10 +4,15 @@
 ///        operator pairs.
 ///
 /// The paper reports no timings; this suite characterizes the
-/// implementation the way a GABB-venue artifact would: edges/second for
-/// A = Eᵀout ⊕.⊗ Ein as a function of scale, skew, and algebra — items/s
-/// in the JSON (BENCH_construction.json by default) *is* edges/s, and
-/// `allocs_per_row` tracks heap traffic per adjacency row.
+/// implementation the way a GABB-venue artifact would. Since PR 3 every
+/// `BM_Construct_*` family point runs the **whole pipeline** per
+/// iteration — sort-free incidence assembly plus the SpGEMM product —
+/// and splits the two phases into `assembly_s` / `spgemm_s` counters
+/// (average seconds per iteration). `edges_per_sec` (= items/s) is the
+/// pipeline rate and `allocs_per_row` tracks heap traffic per adjacency
+/// row. The pre-PR-3 assembly (COO staging + stable-sort
+/// `from_coo_reference`) stays in-bench as `BM_ConstructLegacy_*` so the
+/// sort-free engine's delta is measured, not remembered.
 
 #define I2A_BENCH_COUNT_ALLOCS
 #include "bench_common.hpp"
@@ -15,29 +20,79 @@
 #include "algebra/pairs.hpp"
 #include "graph/incidence.hpp"
 #include "sparse/spgemm.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace i2a;
 
-template <typename P>
-void construction_bench(benchmark::State& state, const P& p,
-                        const graph::Graph& g) {
-  const auto inc = graph::incidence_arrays(g, p);
+/// The pre-PR-3 incidence assembly: stage every edge endpoint through a
+/// COO buffer, then sort-group-compress with the reference engine. Kept
+/// as the legacy baseline the sort-free path is measured against.
+graph::IncidencePair<double> legacy_incidence_arrays(const graph::Graph& g) {
+  sparse::Coo<double> out(g.num_edges(), g.num_vertices());
+  sparse::Coo<double> in(g.num_edges(), g.num_vertices());
+  const auto& edges = g.edges();
+  for (index_t e = 0; e < g.num_edges(); ++e) {
+    out.push(e, edges[static_cast<std::size_t>(e)].src, 1.0);
+    in.push(e, edges[static_cast<std::size_t>(e)].dst, 1.0);
+  }
+  return graph::IncidencePair<double>{
+      sparse::Csr<double>::from_coo_reference(std::move(out),
+                                              sparse::DupPolicy::kKeepFirst),
+      sparse::Csr<double>::from_coo_reference(std::move(in),
+                                              sparse::DupPolicy::kKeepFirst)};
+}
+
+/// Full pipeline per iteration: assembly (graph → Eout/Ein) then product
+/// (A = Eᵀout ⊕.⊗ Ein), with per-phase wall timings split into counters.
+template <typename P, typename Assemble>
+void pipeline_bench(benchmark::State& state, const P& p,
+                    const graph::Graph& g, const Assemble& assemble) {
   std::uint64_t allocs = 0;
+  double assembly_s = 0.0;
+  double spgemm_s = 0.0;
   for (auto _ : state) {
     const auto before = bench::alloc_count();
+    util::Timer phase;
+    const auto inc = assemble(g);
+    assembly_s += phase.seconds();
+    phase.reset();
     auto a = graph::adjacency_array(p, inc);
+    spgemm_s += phase.seconds();
     benchmark::DoNotOptimize(a);
     allocs += bench::alloc_count() - before;
   }
+  const auto iters = static_cast<double>(state.iterations());
   state.SetItemsProcessed(state.iterations() * g.num_edges());
   state.counters["edges"] = static_cast<double>(g.num_edges());
   state.counters["vertices"] = static_cast<double>(g.num_vertices());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      iters * static_cast<double>(g.num_edges()), benchmark::Counter::kIsRate);
+  state.counters["assembly_s"] =
+      benchmark::Counter(assembly_s, benchmark::Counter::kAvgIterations);
+  state.counters["spgemm_s"] =
+      benchmark::Counter(spgemm_s, benchmark::Counter::kAvgIterations);
   state.counters["allocs_per_row"] =
       static_cast<double>(allocs) /
-      (static_cast<double>(state.iterations()) *
-       static_cast<double>(g.num_vertices() > 0 ? g.num_vertices() : 1));
+      (iters * static_cast<double>(g.num_vertices() > 0 ? g.num_vertices()
+                                                        : 1));
+}
+
+template <typename P>
+void construction_bench(benchmark::State& state, const P& p,
+                        const graph::Graph& g) {
+  pipeline_bench(state, p, g, [&p](const graph::Graph& gr) {
+    return graph::incidence_arrays(gr, p);
+  });
+}
+
+void legacy_construction_bench(benchmark::State& state,
+                               const graph::Graph& g) {
+  pipeline_bench(state, algebra::PlusTimes<double>{}, g,
+                 [](const graph::Graph& gr) {
+                   return legacy_incidence_arrays(gr);
+                 });
 }
 
 void BM_Construct_RMAT_PlusTimes(benchmark::State& state) {
@@ -45,6 +100,12 @@ void BM_Construct_RMAT_PlusTimes(benchmark::State& state) {
   construction_bench(state, algebra::PlusTimes<double>{}, g);
 }
 BENCHMARK(BM_Construct_RMAT_PlusTimes)->DenseRange(8, 14, 2);
+
+void BM_ConstructLegacy_RMAT_PlusTimes(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  legacy_construction_bench(state, g);
+}
+BENCHMARK(BM_ConstructLegacy_RMAT_PlusTimes)->DenseRange(8, 14, 2);
 
 void BM_Construct_RMAT_MinPlus(benchmark::State& state) {
   const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
@@ -65,6 +126,15 @@ void BM_Construct_ER_PlusTimes(benchmark::State& state) {
 }
 BENCHMARK(BM_Construct_ER_PlusTimes)->RangeMultiplier(4)->Range(256, 16384);
 
+void BM_ConstructLegacy_ER_PlusTimes(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto g = graph::gen::erdos_renyi(n, 8.0 / static_cast<double>(n), 5);
+  legacy_construction_bench(state, g);
+}
+BENCHMARK(BM_ConstructLegacy_ER_PlusTimes)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384);
+
 void BM_Construct_Bipartite_PlusTimes(benchmark::State& state) {
   const index_t n = state.range(0);
   const auto g = graph::gen::random_bipartite(n, n, 8, 11);
@@ -74,8 +144,96 @@ BENCHMARK(BM_Construct_Bipartite_PlusTimes)
     ->RangeMultiplier(4)
     ->Range(256, 16384);
 
+void BM_ConstructLegacy_Bipartite_PlusTimes(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto g = graph::gen::random_bipartite(n, n, 8, 11);
+  legacy_construction_bench(state, g);
+}
+BENCHMARK(BM_ConstructLegacy_Bipartite_PlusTimes)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384);
+
+// Assembly only: graph → incidence arrays, no product. The point where
+// the sort-free identity-ramp build shows undiluted against the COO +
+// stable-sort path.
+void BM_Construct_Assembly_RMAT(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  const algebra::PlusTimes<double> p;
+  for (auto _ : state) {
+    auto inc = graph::incidence_arrays(g, p);
+    benchmark::DoNotOptimize(inc);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_edges()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Construct_Assembly_RMAT)->DenseRange(8, 14, 2);
+
+void BM_ConstructLegacy_Assembly_RMAT(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  for (auto _ : state) {
+    auto inc = legacy_incidence_arrays(g);
+    benchmark::DoNotOptimize(inc);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_edges()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConstructLegacy_Assembly_RMAT)->DenseRange(8, 14, 2);
+
+// General COO→CSR assembly on a duplicate-heavy, shuffled buffer — the
+// worst case for the two-pass engine (nothing is pre-grouped, every row
+// needs the sort + fold pass) against the worst case for the reference
+// (one big comparison sort). Entries/s in items/s; the per-iteration
+// buffer copy is identical in both variants.
+sparse::Coo<double> shuffled_dup_coo(index_t entries) {
+  util::Xoshiro256 rng(29);
+  const index_t nrows = entries / 8 > 0 ? entries / 8 : 1;
+  sparse::Coo<double> coo(nrows, 256);
+  coo.reserve(static_cast<std::size_t>(entries));
+  for (index_t k = 0; k < entries; ++k) {
+    coo.push(rng.between(0, nrows - 1), rng.between(0, 255),
+             rng.uniform(0.1, 9.9));
+  }
+  return coo;
+}
+
+void BM_Construct_FromCoo(benchmark::State& state) {
+  const auto master = shuffled_dup_coo(state.range(0));
+  for (auto _ : state) {
+    auto coo = master;
+    auto m = sparse::Csr<double>::from_coo(std::move(coo),
+                                           sparse::DupPolicy::kSum);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<index_t>(master.nnz()));
+}
+BENCHMARK(BM_Construct_FromCoo)->RangeMultiplier(4)->Range(16384, 262144);
+
+void BM_ConstructLegacy_FromCoo(benchmark::State& state) {
+  const auto master = shuffled_dup_coo(state.range(0));
+  for (auto _ : state) {
+    auto coo = master;
+    auto m = sparse::Csr<double>::from_coo_reference(std::move(coo),
+                                                     sparse::DupPolicy::kSum);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<index_t>(master.nnz()));
+}
+BENCHMARK(BM_ConstructLegacy_FromCoo)
+    ->RangeMultiplier(4)
+    ->Range(16384, 262144);
+
 // End-to-end: graph -> incidence arrays -> adjacency (includes the
-// incidence-assembly cost a data pipeline pays).
+// incidence-assembly cost a data pipeline pays). Same measurement as the
+// pre-PR-3 suite, so this point is comparable across committed
+// BENCH_construction.json revisions.
 void BM_Construct_EndToEnd(benchmark::State& state) {
   const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
   const algebra::PlusTimes<double> p;
@@ -84,8 +242,27 @@ void BM_Construct_EndToEnd(benchmark::State& state) {
     benchmark::DoNotOptimize(a);
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_edges()),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Construct_EndToEnd)->DenseRange(8, 14, 2);
+
+void BM_ConstructLegacy_EndToEnd(benchmark::State& state) {
+  const auto g = bench::rmat_graph(static_cast<int>(state.range(0)), 8, 7);
+  const algebra::PlusTimes<double> p;
+  for (auto _ : state) {
+    auto a = graph::adjacency_array(p, legacy_incidence_arrays(g));
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_edges()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConstructLegacy_EndToEnd)->DenseRange(8, 14, 2);
 
 // Repeated-product form: forward + reverse adjacency from one incidence
 // pair with the CSC views prebuilt once — the shape a serving layer that
@@ -102,6 +279,10 @@ void BM_Construct_PrebuiltViews(benchmark::State& state) {
     benchmark::DoNotOptimize(rev);
   }
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 *
+          static_cast<double>(g.num_edges()),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Construct_PrebuiltViews)->DenseRange(8, 14, 2);
 

@@ -2,10 +2,14 @@
 /// \file sparse/coo.hpp
 /// \brief Coordinate-format staging buffer for sparse assembly.
 ///
-/// COO is the append-friendly format: generators and the incidence
-/// builders `push` entries in whatever order they discover them, then hand
-/// the buffer to `Csr::from_coo` which sorts, deduplicates, and compresses.
+/// COO is the append-friendly format: generators and bulk loaders `push`
+/// entries in whatever order they discover them, then hand the buffer to
+/// `Csr::from_coo` which groups, orders, deduplicates, and compresses.
+/// (Incidence arrays no longer stage through COO at all — their one-
+/// nonzero-per-row structure admits a direct CSR build; see
+/// graph/incidence.hpp.)
 
+#include <cassert>
 #include <vector>
 
 #include "core/types.hpp"
@@ -27,7 +31,14 @@ class Coo {
   index_t ncols() const { return ncols_; }
   std::size_t nnz() const { return entries_.size(); }
 
+  /// Pre-size the entry buffer; bulk producers (generators, workload
+  /// builders) call this exactly once up front so staging costs one
+  /// allocation total.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   void push(index_t row, index_t col, T val) {
+    assert(row >= 0 && row < nrows_ && "Coo::push: row out of shape");
+    assert(col >= 0 && col < ncols_ && "Coo::push: col out of shape");
     entries_.push_back(Entry{row, col, val});
   }
 

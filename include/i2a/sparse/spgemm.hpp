@@ -395,18 +395,9 @@ inline SpGemmAlgo pick_row_algo(std::size_t a_row_nnz, index_t flops,
   return SpGemmAlgo::kHash;
 }
 
-/// Shared fork/join driver: serial when no multi-thread pool is given,
-/// chunked otherwise, with per-chunk scratch stable across passes.
-template <typename Body>
-void run_chunked(util::ThreadPool* pool, bool parallel, index_t nrows,
-                 const Body& body) {
-  if (nrows <= 0) return;
-  if (parallel) {
-    pool->parallel_for_chunks(nrows, body);
-  } else {
-    body(0, 0, nrows);
-  }
-}
+// run_chunked — the shared fork/join driver — lives in sparse/csr.hpp's
+// detail namespace now: the COO→CSR assembly engine and the parallel
+// transpose/CscView builders (PR 3) use the same chunk decomposition.
 
 /// Chunk-slab engine for the kernels whose exact symbolic pass would
 /// repeat their whole numeric cost (Gustavson's scatter *is* the count;
@@ -702,9 +693,10 @@ Csr<typename P::value_type> spgemm_at_b(
   return detail::spgemm_two_pass(p, at, b, algo, pool);
 }
 
-/// C = Aᵀ ⊕.⊗ B convenience overload: builds the CSC view internally.
-/// Structure-only counting sort — unlike the old `transpose(a)` path, no
-/// value array is ever copied or re-laid-out.
+/// C = Aᵀ ⊕.⊗ B convenience overload: builds the CSC view internally
+/// (on the pool, when one is given — the view's counting sort chunks the
+/// same way the product does). Structure-only counting sort — unlike the
+/// old `transpose(a)` path, no value array is ever copied or re-laid-out.
 template <typename P>
 Csr<typename P::value_type> spgemm_at_b(
     const P& p, const Csr<typename P::value_type>& a,
@@ -712,7 +704,7 @@ Csr<typename P::value_type> spgemm_at_b(
     SpGemmAlgo algo = SpGemmAlgo::kGustavson,
     util::ThreadPool* pool = nullptr) {
   assert(a.nrows() == b.nrows());
-  const CscView<typename P::value_type> at(a);
+  const CscView<typename P::value_type> at(a, pool);
   return detail::spgemm_two_pass(p, at, b, algo, pool);
 }
 
