@@ -1,0 +1,135 @@
+/// \file bench_stream.cpp
+/// \brief PERF4: streaming adjacency maintenance. Measures sustained
+///        batch-ingest throughput (edges/s) through
+///        `stream::AdjacencyBuilder`'s compaction ladder and the merge
+///        amplification it pays, against the naive serving strategy the
+///        builder exists to beat: rebuilding the full adjacency from the
+///        concatenated edge list after every batch.
+///
+/// Counters:
+///   merge_amplification — maintenance entries written (per-batch deltas
+///       + every ladder compaction + the snapshot merges) divided by the
+///       final adjacency nnz: how many times the stream path touches an
+///       entry that a one-shot build writes once.
+///   final_nnz — size of the maintained array (sanity anchor).
+///
+/// `BM_StreamServe` and `BM_RebuildPerBatch` are the apples-to-apples
+/// pair: both produce a queryable adjacency array after *every* batch.
+/// The acceptance bar is stream ≤ rebuild for ≥ 8 batches; the committed
+/// BENCH_stream.json records the margin.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "algebra/pairs.hpp"
+#include "graph/incidence.hpp"
+#include "stream/adjacency_builder.hpp"
+
+namespace {
+
+using namespace i2a;
+
+constexpr int kScale = 12;          // 4096 vertices
+constexpr index_t kEdgeFactor = 8;  // 32768 edges
+
+std::vector<std::span<const graph::Edge>> split_batches(
+    const std::vector<graph::Edge>& edges, index_t nbatches) {
+  std::vector<std::span<const graph::Edge>> out;
+  const std::size_t per =
+      (edges.size() + static_cast<std::size_t>(nbatches) - 1) /
+      static_cast<std::size_t>(nbatches);
+  for (std::size_t lo = 0; lo < edges.size(); lo += per) {
+    const std::size_t hi = std::min(edges.size(), lo + per);
+    out.emplace_back(edges.data() + lo, hi - lo);
+  }
+  return out;
+}
+
+/// Ingest the whole stream, snapshot once at the end — the pure
+/// maintenance rate with queries amortized away.
+void BM_StreamIngest(benchmark::State& state) {
+  const auto g = bench::rmat_graph(kScale, kEdgeFactor, 42);
+  const auto batches = split_batches(g.edges(), state.range(0));
+  const algebra::PlusTimes<double> p;
+  std::uint64_t written = 0;
+  std::uint64_t final_nnz = 0;
+  for (auto _ : state) {
+    stream::AdjacencyBuilder<algebra::PlusTimes<double>> b(g.num_vertices(),
+                                                           p);
+    for (const auto& batch : batches) b.ingest(batch);
+    const auto a = b.adjacency();
+    benchmark::DoNotOptimize(a.nnz());
+    written += b.stats().delta_entries + b.stats().merged_entries +
+               static_cast<std::uint64_t>(a.nnz());
+    final_nnz = static_cast<std::uint64_t>(a.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edges().size()));
+  state.counters["merge_amplification"] =
+      static_cast<double>(written) /
+      (static_cast<double>(final_nnz) *
+       static_cast<double>(state.iterations()));
+  state.counters["final_nnz"] = static_cast<double>(final_nnz);
+}
+BENCHMARK(BM_StreamIngest)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/// Ingest and snapshot after every batch — a query served per batch,
+/// the maintained-array counterpart of BM_RebuildPerBatch.
+void BM_StreamServe(benchmark::State& state) {
+  const auto g = bench::rmat_graph(kScale, kEdgeFactor, 42);
+  const auto batches = split_batches(g.edges(), state.range(0));
+  const algebra::PlusTimes<double> p;
+  std::uint64_t written = 0;
+  std::uint64_t final_nnz = 0;
+  for (auto _ : state) {
+    stream::AdjacencyBuilder<algebra::PlusTimes<double>> b(g.num_vertices(),
+                                                           p);
+    std::uint64_t serve_writes = 0;
+    for (const auto& batch : batches) {
+      b.ingest(batch);
+      const auto a = b.adjacency();
+      benchmark::DoNotOptimize(a.nnz());
+      serve_writes += static_cast<std::uint64_t>(a.nnz());
+      final_nnz = static_cast<std::uint64_t>(a.nnz());
+    }
+    written +=
+        b.stats().delta_entries + b.stats().merged_entries + serve_writes;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edges().size()));
+  state.counters["merge_amplification"] =
+      static_cast<double>(written) /
+      (static_cast<double>(final_nnz) *
+       static_cast<double>(state.iterations()));
+  state.counters["final_nnz"] = static_cast<double>(final_nnz);
+}
+BENCHMARK(BM_StreamServe)->Arg(8)->Arg(32)->Arg(128);
+
+/// The baseline the builder replaces: after every batch, rebuild the
+/// adjacency from scratch over all edges seen so far (incidence assembly
+/// + SpGEMM over the whole prefix, every time).
+void BM_RebuildPerBatch(benchmark::State& state) {
+  const auto g = bench::rmat_graph(kScale, kEdgeFactor, 42);
+  const auto batches = split_batches(g.edges(), state.range(0));
+  const algebra::PlusTimes<double> p;
+  for (auto _ : state) {
+    graph::Graph prefix(g.num_vertices());
+    prefix.edges().reserve(g.edges().size());
+    for (const auto& batch : batches) {
+      for (const auto& e : batch) prefix.edges().push_back(e);
+      const auto a = graph::build_adjacency(prefix, p);
+      benchmark::DoNotOptimize(a.nnz());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edges().size()));
+}
+BENCHMARK(BM_RebuildPerBatch)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return i2a::bench::run_benchmarks_json(argc, argv, "BENCH_stream.json");
+}

@@ -3,6 +3,7 @@
 /// \brief Level-synchronous BFS over a constructed adjacency array's
 ///        nonzero pattern.
 
+#include <stdexcept>
 #include <vector>
 
 #include "sparse/csr.hpp"
@@ -11,9 +12,14 @@ namespace i2a::graph {
 
 /// BFS levels from `src`: level[src] = 0, unreachable vertices = -1.
 /// An entry counts as an edge when its value differs from `zero`.
+/// Throws `std::out_of_range` for an out-of-range source (indexing
+/// level[src] unchecked was UB).
 template <typename T>
 std::vector<index_t> bfs_levels(const sparse::Csr<T>& a, index_t src, T zero) {
   const index_t n = a.nrows();
+  if (src < 0 || src >= n) {
+    throw std::out_of_range("bfs_levels: source vertex out of range");
+  }
   std::vector<index_t> level(static_cast<std::size_t>(n), index_t{-1});
   std::vector<index_t> frontier{src};
   level[static_cast<std::size_t>(src)] = 0;

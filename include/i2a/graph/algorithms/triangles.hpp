@@ -40,7 +40,10 @@ std::uint64_t row_intersection_size(const sparse::Csr<T>& a, index_t u,
 
 /// Rebuild A's nonzero pattern with all values set to 1 so A·A counts
 /// paths; entries equal to the zero element are not edges
-/// (Definition I.5), so they are dropped here.
+/// (Definition I.5), so they are dropped here. Diagonal entries are
+/// dropped too: a self-loop is not a triangle edge, but if kept it would
+/// contribute spurious closed 2-walks through c.at(i,i) and inflate
+/// |N(i) ∩ N(j)| whenever i ∈ N(j) — both counters would overcount.
 template <typename T>
 sparse::Csr<double> pattern_of(const sparse::Csr<T>& a, T zero) {
   sparse::Coo<double> coo(a.nrows(), a.ncols());
@@ -48,7 +51,7 @@ sparse::Csr<double> pattern_of(const sparse::Csr<T>& a, T zero) {
     const auto cs = a.row_cols(i);
     const auto vs = a.row_vals(i);
     for (std::size_t k = 0; k < cs.size(); ++k) {
-      if (!(vs[k] == zero)) coo.push(i, cs[k], 1.0);
+      if (cs[k] != i && !(vs[k] == zero)) coo.push(i, cs[k], 1.0);
     }
   }
   return sparse::Csr<double>::from_coo(std::move(coo),
@@ -58,8 +61,8 @@ sparse::Csr<double> pattern_of(const sparse::Csr<T>& a, T zero) {
 }  // namespace detail
 
 /// Unmasked: C = A·A over +.* is materialized in full, then summed only
-/// where A has an edge. Each triangle is counted 6 times on a symmetric
-/// loop-free pattern.
+/// where A has an edge. Each triangle is counted 6 times on the
+/// symmetric pattern (self-loops are normalized away by `pattern_of`).
 template <typename T>
 std::uint64_t count_triangles(const sparse::Csr<T>& a, T zero = T{}) {
   const auto pat = detail::pattern_of(a, zero);
@@ -74,8 +77,8 @@ std::uint64_t count_triangles(const sparse::Csr<T>& a, T zero = T{}) {
 }
 
 /// Masked: for each edge (i, j), accumulate |N(i) ∩ N(j)| directly —
-/// the A·A intermediate never exists (the O(nnz) pattern rebuild only
-/// normalizes explicit zero-element entries away).
+/// the A·A intermediate never exists (the O(nnz) pattern rebuild
+/// normalizes explicit zero-element entries and self-loops away).
 template <typename T>
 std::uint64_t count_triangles_masked(const sparse::Csr<T>& a, T zero = T{}) {
   const auto pat = detail::pattern_of(a, zero);

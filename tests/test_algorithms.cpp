@@ -4,6 +4,8 @@
 ///        sanity, and the masked/unmasked triangle agreement.
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "algebra/pairs.hpp"
 #include "graph/generators.hpp"
@@ -44,9 +46,10 @@ void test_sssp_and_apsp_agree() {
   const auto all = graph::apsp(a);
   for (index_t src = 0; src < 4; ++src) {
     const auto d = graph::sssp_bellman_ford(a, src);
+    CHECK(!d.has_negative_cycle);  // nonnegative weights
     for (index_t v = 0; v < a.nrows(); ++v) {
       if (src == v) continue;  // APSP diagonal is pinned to 0
-      const double x = d[static_cast<std::size_t>(v)];
+      const double x = d.dist[static_cast<std::size_t>(v)];
       const double y = all.at(src, v);
       CHECK(x == y || std::abs(x - y) <= 1e-9 * std::max(1.0, std::abs(x)));
     }
@@ -108,6 +111,143 @@ void test_triangles() {
   }
 }
 
+void test_sssp_negative_cycle() {
+  // 0 →(1) 1 →(-3) 2 →(1) 1 closes a negative cycle; 2 →(1) 3 hangs off
+  // it; vertex 4 is unreachable. Without detection the n-1 rounds leave
+  // plausible-looking finite garbage at 1, 2, 3.
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  graph::Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, -3.0);
+  g.add_edge(2, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const algebra::MinPlus<double> p;
+  const auto a =
+      graph::adjacency_array(p, graph::weighted_incidence_arrays(g, p));
+  const auto d = graph::sssp_bellman_ford(a, 0);
+  CHECK(d.has_negative_cycle);
+  CHECK_EQ(d.dist[0], 0.0);  // the source itself sits before the cycle
+  CHECK_EQ(d.dist[1], -inf);
+  CHECK_EQ(d.dist[2], -inf);
+  CHECK_EQ(d.dist[3], -inf);  // downstream of the cycle: poisoned too
+  CHECK_EQ(d.dist[4], inf);   // unreachable stays +inf
+
+  // A negative cycle that the source cannot reach must not fire: 0 →(1) 1
+  // is clean, 2 ⇄ 3 is negative but disconnected from 0.
+  graph::Graph h(4);
+  h.add_edge(0, 1, 1.0);
+  h.add_edge(2, 3, -2.0);
+  h.add_edge(3, 2, 1.0);
+  const auto b =
+      graph::adjacency_array(p, graph::weighted_incidence_arrays(h, p));
+  const auto e = graph::sssp_bellman_ford(b, 0);
+  CHECK(!e.has_negative_cycle);
+  CHECK_EQ(e.dist[1], 1.0);
+  CHECK_EQ(e.dist[2], inf);
+
+  // A stored +inf entry is the min.+ zero element, not an edge
+  // (Definition I.5): the -inf flood must not poison through it.
+  sparse::Coo<double> coo(5, 5);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 2, -3.0);
+  coo.push(2, 1, 1.0);
+  coo.push(1, 4, inf);  // explicit zero element: 4 stays unreachable
+  const auto c = sparse::Csr<double>::from_coo(std::move(coo),
+                                               sparse::DupPolicy::kMin);
+  const auto f = graph::sssp_bellman_ford(c, 0);
+  CHECK(f.has_negative_cycle);
+  CHECK_EQ(f.dist[1], -inf);
+  CHECK_EQ(f.dist[2], -inf);
+  CHECK_EQ(f.dist[4], inf);
+}
+
+void test_source_validation() {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  const auto a = graph::build_adjacency(g, algebra::PlusTimes<double>{});
+  bool threw = false;
+  try {
+    (void)graph::sssp_bellman_ford(a, 3);
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+  threw = false;
+  try {
+    (void)graph::sssp_bellman_ford(a, -1);
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+  threw = false;
+  try {
+    (void)graph::bfs_levels(a, 3, 0.0);
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+  threw = false;
+  try {
+    (void)graph::bfs_levels(a, -1, 0.0);
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+}
+
+void test_triangles_with_self_loops() {
+  // One triangle {0,1,2} plus self-loops at 0 and 2. With diagonal
+  // entries kept in the pattern, 0's loop manufactures spurious closed
+  // walks (c.at(i,i) terms and inflated |N(i) ∩ N(j)| whenever i and j
+  // are adjacent) — the regression both counters used to hit.
+  graph::Graph g(3);
+  const std::pair<int, int> sides[] = {{0, 1}, {1, 2}, {0, 2}};
+  for (const auto& [u, v] : sides) {
+    g.add_edge(u, v);
+    g.add_edge(v, u);
+  }
+  g.add_edge(0, 0);
+  g.add_edge(2, 2);
+  const auto a = graph::build_adjacency(g, algebra::MaxTimes<double>{});
+  CHECK_EQ(graph::count_triangles(a), 1u);
+  CHECK_EQ(graph::count_triangles_masked(a), 1u);
+
+  // Self-loops alone make no triangles at all.
+  graph::Graph h(2);
+  h.add_edge(0, 0);
+  h.add_edge(1, 1);
+  h.add_edge(0, 1);
+  h.add_edge(1, 0);
+  const auto b = graph::build_adjacency(h, algebra::MaxTimes<double>{});
+  CHECK_EQ(graph::count_triangles(b), 0u);
+  CHECK_EQ(graph::count_triangles_masked(b), 0u);
+
+  // Random symmetric graphs *with loops kept*: the counters must agree
+  // with each other and with the loop-stripped copy of the same graph.
+  util::Xoshiro256 rng(123);
+  for (int t = 0; t < 10; ++t) {
+    const auto base = graph::gen::random_multigraph(10, 30, rng.next());
+    graph::Graph withloops(base.num_vertices());
+    graph::Graph noloops(base.num_vertices());
+    for (const auto& e : base.edges()) {
+      if (e.src == e.dst) {
+        withloops.add_edge(e.src, e.dst);
+        continue;
+      }
+      withloops.add_edge(e.src, e.dst);
+      withloops.add_edge(e.dst, e.src);
+      noloops.add_edge(e.src, e.dst);
+      noloops.add_edge(e.dst, e.src);
+    }
+    const auto wl = graph::build_adjacency(withloops, algebra::MaxTimes<double>{});
+    const auto nl = graph::build_adjacency(noloops, algebra::MaxTimes<double>{});
+    const auto expected = graph::count_triangles(nl);
+    CHECK_EQ(graph::count_triangles(wl), expected);
+    CHECK_EQ(graph::count_triangles_masked(wl), expected);
+    CHECK_EQ(graph::count_triangles_masked(nl), expected);
+  }
+}
+
 void test_explicit_zero_entries_are_not_edges() {
   // A stored entry whose value equals the zero element is not an edge
   // (Definition I.5); pagerank and the triangle counters must agree
@@ -149,6 +289,9 @@ int main() {
   test_transitive_closure();
   test_pagerank();
   test_triangles();
+  test_triangles_with_self_loops();
+  test_sssp_negative_cycle();
+  test_source_validation();
   test_explicit_zero_entries_are_not_edges();
   return TEST_MAIN_RESULT();
 }

@@ -25,9 +25,7 @@ namespace {
 
 /// Byte-identical: full-precision == on every component vector.
 bool identical(const sparse::Csr<double>& a, const sparse::Csr<double>& b) {
-  return a.nrows() == b.nrows() && a.ncols() == b.ncols() &&
-         a.row_ptr() == b.row_ptr() && a.cols() == b.cols() &&
-         a.vals() == b.vals();
+  return i2a::test::csr_bitwise_equal(a, b);
 }
 
 bool same_edges(const graph::Graph& a, const graph::Graph& b) {

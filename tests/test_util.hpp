@@ -6,9 +6,22 @@
 
 #include <cstdio>
 
+#include "sparse/csr.hpp"
+
 namespace i2a::test {
 inline int failures = 0;
+
+/// Bitwise CSR equality — the byte-identical bar every determinism and
+/// differential suite holds the engines to (shape, row pointer, columns,
+/// and values, compared exactly; no tolerance anywhere).
+template <typename T>
+bool csr_bitwise_equal(const sparse::Csr<T>& a, const sparse::Csr<T>& b) {
+  return a.nrows() == b.nrows() && a.ncols() == b.ncols() &&
+         a.row_ptr() == b.row_ptr() && a.cols() == b.cols() &&
+         a.vals() == b.vals();
 }
+
+}  // namespace i2a::test
 
 #define CHECK(cond)                                                       \
   do {                                                                    \
