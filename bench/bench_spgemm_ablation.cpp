@@ -252,14 +252,16 @@ void spgemm_point(benchmark::State& state, index_t n, double density,
 
 void two_pass_point(benchmark::State& state, SpGemmAlgo algo) {
   const algebra::PlusTimes<double> p;
-  spgemm_point(state, state.range(0), 1e-3 * state.range(1),
+  spgemm_point(state, state.range(0),
+               1e-3 * static_cast<double>(state.range(1)),
                [&](const auto& a, const auto& b) {
                  return sparse::spgemm(p, a, b, algo);
                });
 }
 void legacy_point(benchmark::State& state, SpGemmAlgo algo) {
   const algebra::PlusTimes<double> p;
-  spgemm_point(state, state.range(0), 1e-3 * state.range(1),
+  spgemm_point(state, state.range(0),
+               1e-3 * static_cast<double>(state.range(1)),
                [&](const auto& a, const auto& b) {
                  return legacy::spgemm(p, a, b, algo);
                });
@@ -332,8 +334,9 @@ template <typename MakeProduct>
 void incidence_point(benchmark::State& state, MakeProduct&& make_product) {
   const index_t edges = state.range(0);
   const index_t vertices = edges / 8;
-  const auto eout = bench::random_matrix(edges, vertices, 1.0 / vertices, 3);
-  const auto ein = bench::random_matrix(edges, vertices, 1.0 / vertices, 4);
+  const auto density = 1.0 / static_cast<double>(vertices);
+  const auto eout = bench::random_matrix(edges, vertices, density, 3);
+  const auto ein = bench::random_matrix(edges, vertices, density, 4);
   auto product = make_product(eout, ein);
   std::uint64_t allocs = 0;
   for (auto _ : state) {

@@ -1,0 +1,129 @@
+#pragma once
+/// \file algebra/concepts.hpp
+/// \brief Compile-time algebra contracts for the kernel entry points.
+///
+/// Two layers, because C++ can check two different things at compile
+/// time:
+///
+///   1. **Structure** — `AlgebraPair<P>` requires the uniform operator
+///      interface every kernel templates over (`value_type`, `name`,
+///      `zero`, `one`, `add`, `mul` with the right signatures). A pair
+///      missing `mul`, or whose `add` returns the wrong type, now fails
+///      at the kernel's signature with a named concept in the
+///      diagnostic, instead of pages deep inside the engine.
+///
+///   2. **Declared semantics** — associativity, commutativity,
+///      distributivity and the annihilator law are not decidable at
+///      compile time, so they are *declared*: a pair may carry
+///      `static constexpr bool add_commutative = false;` (etc.) to state
+///      which laws it breaks. Undeclared laws default to `true`, the
+///      Table I convention — every paper pair conforms, and the
+///      type-erased `AnyPairD` cannot know at compile time. The Section
+///      III non-examples declare exactly the law they violate
+///      (algebra/non_examples.hpp), which is how the negative compile
+///      tests (tests/compile_fail/) prove the constraints bite.
+///
+/// The concept hierarchy mirrors the paper's conditions (Theorem II.1,
+/// and the ⊕/⊗ contracts made explicit in the GraphBLAS foundations
+/// paper, PAPERS.md 1606.05790):
+///
+///   AlgebraPair          structural interface only
+///   CommutativeMonoidAdd + ⊕ associative and commutative with identity 0
+///   Semiring             + ⊗ associative, 0 annihilates, ⊗ distributes
+///   ConformingPair       + carrier zero-sum-free, no zero divisors
+///                          (the full Theorem II.1 hypothesis; carrier
+///                          laws stay empirically checked by
+///                          algebra/properties.hpp and the sweep)
+///   InvertibleAdd        CommutativeMonoidAdd + a `sub` hook (⊕ has
+///                          inverses) — the static gate for the planned
+///                          tombstone/edge-deletion work (ROADMAP), so
+///                          retraction APIs can reject min/max algebras
+///                          at compile time.
+///
+/// Kernel constraints: `merge` needs only `CommutativeMonoidAdd` (⊗
+/// never appears in a ⊕-merge); `spgemm`, `spgemm_at_b`,
+/// `adjacency_array`, `build_adjacency` and `AdjacencyBuilder` need
+/// `Semiring`. The dense full-semantics baseline intentionally accepts
+/// any structural `AlgebraPair` — demonstrating what the product does
+/// *without* the theorem's hypotheses is its whole job.
+
+#include <concepts>
+#include <string_view>
+
+namespace i2a::algebra {
+
+/// The structural operator-pair interface (layer 1 above).
+template <typename P>
+concept AlgebraPair =
+    requires(const P p, const typename P::value_type v) {
+      typename P::value_type;
+      { p.zero() } -> std::convertible_to<typename P::value_type>;
+      { p.one() } -> std::convertible_to<typename P::value_type>;
+      { p.add(v, v) } -> std::convertible_to<typename P::value_type>;
+      { p.mul(v, v) } -> std::convertible_to<typename P::value_type>;
+      { p.name() } -> std::convertible_to<std::string_view>;
+    };
+
+namespace detail {
+
+/// Read a pair's declared semantic flag, defaulting to true when the
+/// pair does not declare it (Table I convention; see file comment).
+#define I2A_DECLARED_LAW_(trait, member)                          \
+  template <typename P>                                           \
+  inline constexpr bool trait = [] {                              \
+    if constexpr (requires { P::member; }) {                      \
+      return static_cast<bool>(P::member);                        \
+    } else {                                                      \
+      return true;                                                \
+    }                                                             \
+  }()
+
+I2A_DECLARED_LAW_(add_associative_v, add_associative);
+I2A_DECLARED_LAW_(add_commutative_v, add_commutative);
+I2A_DECLARED_LAW_(mul_associative_v, mul_associative);
+I2A_DECLARED_LAW_(mul_annihilates_v, mul_annihilates);
+I2A_DECLARED_LAW_(mul_distributes_v, mul_distributes);
+I2A_DECLARED_LAW_(zero_sum_free_v, zero_sum_free);
+I2A_DECLARED_LAW_(no_zero_divisors_v, no_zero_divisors);
+
+#undef I2A_DECLARED_LAW_
+
+}  // namespace detail
+
+/// ⊕ forms a commutative monoid with identity zero() — the contract the
+/// k-way ⊕-merge and the ladder compaction rely on (fold order may be
+/// regrouped across batches).
+template <typename P>
+concept CommutativeMonoidAdd =
+    AlgebraPair<P> && detail::add_associative_v<P> &&
+    detail::add_commutative_v<P>;
+
+/// Full ⊕.⊗ semiring contract: what the SpGEMM engines require so the
+/// per-row fold (whose grouping differs per accumulator) is well-defined
+/// and the sparse shortcut can skip absent⊗absent terms.
+template <typename P>
+concept Semiring =
+    CommutativeMonoidAdd<P> && detail::mul_associative_v<P> &&
+    detail::mul_annihilates_v<P> && detail::mul_distributes_v<P>;
+
+/// The complete Theorem II.1 hypothesis, carrier laws included. Not
+/// required by the kernels (carrier laws are empirical, checked by
+/// algebra/properties.hpp); available for callers that want the static
+/// declaration as documentation.
+template <typename P>
+concept ConformingPair = Semiring<P> && detail::zero_sum_free_v<P> &&
+                         detail::no_zero_divisors_v<P>;
+
+/// ⊕ additionally has inverses, exposed as `sub(a, b)` with
+/// a = add(sub(a, b), b). No shipped pair provides it yet — this is the
+/// compile-time gate for the ROADMAP tombstone/edge-retraction work,
+/// where only invertible ⊕ (e.g. +) admits per-edge deletion and the
+/// lattice algebras must be rejected statically.
+template <typename P>
+concept InvertibleAdd =
+    CommutativeMonoidAdd<P> &&
+    requires(const P p, const typename P::value_type v) {
+      { p.sub(v, v) } -> std::convertible_to<typename P::value_type>;
+    };
+
+}  // namespace i2a::algebra

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "algebra/concepts.hpp"
 #include "algebra/set_algebra.hpp"
 
 namespace i2a::algebra {
@@ -24,6 +25,9 @@ namespace i2a::algebra {
 template <typename T>
 struct SignedPlusTimes {
   using value_type = T;
+  /// Declared carrier violation (algebra/concepts.hpp): fails
+  /// ConformingPair, still a Semiring — the ⊕/⊗ laws themselves hold.
+  static constexpr bool zero_sum_free = false;
   static constexpr std::string_view name() { return "+.* (signed)"; }
   constexpr T zero() const { return T(0); }
   constexpr T one() const { return T(1); }
@@ -35,6 +39,10 @@ struct SignedPlusTimes {
 /// any even number of parallel edges annihilates itself.
 struct GaloisF2 {
   using value_type = std::uint8_t;
+  /// A field, hence a semiring — but declared not zero-sum-free, so it
+  /// fails ConformingPair (and is the negative case for InvertibleAdd
+  /// *with* inverses once retraction lands: GF(2) is its own inverse).
+  static constexpr bool zero_sum_free = false;
   static constexpr std::string_view name() { return "xor.and (GF2)"; }
   constexpr std::uint8_t zero() const { return 0; }
   constexpr std::uint8_t one() const { return 1; }
@@ -53,6 +61,14 @@ struct GaloisF2 {
 template <typename T>
 struct MaxPlusNonNeg {
   using value_type = T;
+  /// Declared operator-law violation: the designated zero does not
+  /// ⊗-annihilate, so this pair fails `Semiring` and the SpGEMM /
+  /// adjacency entry points reject it at compile time
+  /// (tests/compile_fail/ pins the rejection). The validation sweep
+  /// reaches it only through the unconstrained dense full-semantics
+  /// baseline — which is exactly the path that demonstrates the
+  /// breakage.
+  static constexpr bool mul_annihilates = false;
   static constexpr std::string_view name() { return "max.+ (nonneg)"; }
   constexpr T zero() const { return T(0); }
   constexpr T one() const { return T(0); }
@@ -65,6 +81,10 @@ struct MaxPlusNonNeg {
 class BitsetUnionIntersect {
  public:
   using value_type = std::uint64_t;
+  /// Declared carrier violation: disjoint nonempty sets ⊗-annihilate
+  /// each other, so the pair fails ConformingPair (still a semiring —
+  /// a bounded distributive lattice).
+  static constexpr bool no_zero_divisors = false;
 
   explicit BitsetUnionIntersect(int nbits) : nbits_(nbits) {}
 

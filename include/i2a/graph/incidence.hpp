@@ -23,9 +23,11 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/concepts.hpp"
 #include "graph/graph.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/spgemm.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::graph {
@@ -72,17 +74,21 @@ IncidencePair<T> incidence_arrays_with(const Graph& g, Draw&& draw,
           in_vals[static_cast<std::size_t>(e)] = draw(e, false);
         }
       });
-  return IncidencePair<T>{
+  IncidencePair<T> inc{
       sparse::Csr<T>(m, n, std::move(out_ptr), std::move(out_cols),
                      std::move(out_vals)),
       sparse::Csr<T>(m, n, std::move(in_ptr), std::move(in_cols),
                      std::move(in_vals))};
+  I2A_ENSURES(inc.eout.is_canonical() && inc.ein.is_canonical(),
+              "incidence_arrays_with: non-canonical incidence CSR");
+  return inc;
 }
 
 /// Unweighted incidence arrays: every incidence entry is 1, as in the
 /// paper's unweighted figures. (1 is distinct from the zero element of
 /// all seven Table I pairs, so the theorem's hypothesis holds.)
 template <typename P>
+  requires algebra::Semiring<P>
 IncidencePair<typename P::value_type> incidence_arrays(
     const Graph& g, const P&, util::ThreadPool* pool = nullptr) {
   using T = typename P::value_type;
@@ -95,6 +101,7 @@ IncidencePair<typename P::value_type> incidence_arrays(
 /// weight to the fold — A(i,j) = ⊕ over parallel edges of w(e). This is
 /// what makes min.+ adjacency arrays directly usable for SSSP/APSP.
 template <typename P>
+  requires algebra::Semiring<P>
 IncidencePair<typename P::value_type> weighted_incidence_arrays(
     const Graph& g, const P& p, util::ThreadPool* pool = nullptr) {
   using T = typename P::value_type;
@@ -127,6 +134,7 @@ struct IncidenceViews {
 /// path (no transpose is ever materialized). kAuto lets the engine pick
 /// the accumulator per row from the symbolic pass's estimates.
 template <typename P>
+  requires algebra::Semiring<P>
 sparse::Csr<typename P::value_type> adjacency_array(
     const P& p, const IncidencePair<typename P::value_type>& inc,
     sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
@@ -137,6 +145,7 @@ sparse::Csr<typename P::value_type> adjacency_array(
 /// Repeated-product form of `adjacency_array` over prebuilt views.
 /// `views` must have been built from this `inc`.
 template <typename P>
+  requires algebra::Semiring<P>
 sparse::Csr<typename P::value_type> adjacency_array(
     const P& p, const IncidenceViews<typename P::value_type>& views,
     const IncidencePair<typename P::value_type>& inc,
@@ -149,6 +158,7 @@ sparse::Csr<typename P::value_type> adjacency_array(
 /// Corollary III.1: the adjacency array of the reverse graph is
 /// Eᵀin ⊕.⊗ Eout — swap the incidence arrays, no new product machinery.
 template <typename P>
+  requires algebra::Semiring<P>
 sparse::Csr<typename P::value_type> reverse_adjacency_array(
     const P& p, const IncidencePair<typename P::value_type>& inc,
     sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
@@ -159,6 +169,7 @@ sparse::Csr<typename P::value_type> reverse_adjacency_array(
 /// Repeated-product form of `reverse_adjacency_array` over prebuilt
 /// views. `views` must have been built from this `inc`.
 template <typename P>
+  requires algebra::Semiring<P>
 sparse::Csr<typename P::value_type> reverse_adjacency_array(
     const P& p, const IncidenceViews<typename P::value_type>& views,
     const IncidencePair<typename P::value_type>& inc,
@@ -172,6 +183,7 @@ sparse::Csr<typename P::value_type> reverse_adjacency_array(
 /// The pool parallelizes *both* phases — the sort-free incidence
 /// assembly and the product.
 template <typename P>
+  requires algebra::Semiring<P>
 sparse::Csr<typename P::value_type> build_adjacency(
     const Graph& g, const P& p,
     sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,

@@ -42,6 +42,7 @@
 
 #include "core/types.hpp"
 #include "sparse/coo.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::sparse {
@@ -252,8 +253,10 @@ class Csr {
       total += out_nnz[static_cast<std::size_t>(r)];
     }
     if (total == nnz) {
-      return Csr(nrows, coo.ncols(), std::move(row_ptr), std::move(cols),
-                 std::move(vals));
+      Csr out(nrows, coo.ncols(), std::move(row_ptr), std::move(cols),
+              std::move(vals));
+      I2A_ENSURES(out.is_canonical(), "from_coo: non-canonical CSR");
+      return out;
     }
     std::vector<index_t> fptr(static_cast<std::size_t>(nrows) + 1, 0);
     for (index_t r = 0; r < nrows; ++r) {
@@ -278,8 +281,10 @@ class Csr {
                       fvals.begin() + dst);
           }
         });
-    return Csr(nrows, coo.ncols(), std::move(fptr), std::move(fcols),
-               std::move(fvals));
+    Csr out(nrows, coo.ncols(), std::move(fptr), std::move(fcols),
+            std::move(fvals));
+    I2A_ENSURES(out.is_canonical(), "from_coo: non-canonical CSR");
+    return out;
   }
 
   /// The pre-PR-3 serial stable-sort assembly, kept verbatim as the
@@ -324,8 +329,10 @@ class Csr {
     for (std::size_t r = 0; r < static_cast<std::size_t>(coo.nrows()); ++r) {
       row_ptr[r + 1] += row_ptr[r];
     }
-    return Csr(coo.nrows(), coo.ncols(), std::move(row_ptr), std::move(cols),
-               std::move(vals));
+    Csr out(coo.nrows(), coo.ncols(), std::move(row_ptr), std::move(cols),
+            std::move(vals));
+    I2A_ENSURES(out.is_canonical(), "from_coo_reference: non-canonical CSR");
+    return out;
   }
 
   /// Validating factory: like the raw constructor but rejects malformed
@@ -476,6 +483,7 @@ void counting_sort_by_col(const Csr<T>& a, util::ThreadPool* pool,
 /// sorted (see `detail::counting_sort_by_col` for the parallel scheme).
 template <typename T>
 Csr<T> transpose(const Csr<T>& a, util::ThreadPool* pool = nullptr) {
+  I2A_EXPECTS(a.is_canonical(), "transpose: input CSR not canonical");
   std::vector<index_t> row_ptr(static_cast<std::size_t>(a.ncols()) + 1, 0);
   std::vector<index_t> cols(static_cast<std::size_t>(a.nnz()));
   std::vector<T> vals(static_cast<std::size_t>(a.nnz()));
@@ -484,8 +492,10 @@ Csr<T> transpose(const Csr<T>& a, util::ThreadPool* pool = nullptr) {
         cols[slot] = r;
         vals[slot] = a.vals()[static_cast<std::size_t>(idx)];
       });
-  return Csr<T>(a.ncols(), a.nrows(), std::move(row_ptr), std::move(cols),
-                std::move(vals));
+  Csr<T> out(a.ncols(), a.nrows(), std::move(row_ptr), std::move(cols),
+             std::move(vals));
+  I2A_ENSURES(out.is_canonical(), "transpose: non-canonical CSR");
+  return out;
 }
 
 /// Column-major *view* of a Csr: the same counting sort as `transpose`,

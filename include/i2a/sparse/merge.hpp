@@ -43,14 +43,15 @@
 /// path needs no dropping to stay byte-identical to a full rebuild.
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "algebra/concepts.hpp"
 #include "core/types.hpp"
 #include "sparse/csr.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::sparse {
@@ -134,6 +135,7 @@ Csr<T> merge_add_k(const std::vector<const Csr<T>*>& runs, const Add& add,
     if (m->nrows() != nrows || m->ncols() != ncols) {
       throw std::invalid_argument("merge_add_k: run shape mismatch");
     }
+    I2A_EXPECTS(m->is_canonical(), "merge_add_k: input run not canonical");
   }
   const bool dropping = drop_zero != nullptr;
   if (runs.size() == 1 && !dropping) return *runs[0];  // fold of one
@@ -189,13 +191,16 @@ Csr<T> merge_add_k(const std::vector<const Csr<T>*>& runs, const Add& add,
                                 vals[w] = v;
                                 ++w;
                               });
-          assert(w == static_cast<std::size_t>(
-                          row_ptr[static_cast<std::size_t>(r) + 1]));
+          I2A_ASSERT(w == static_cast<std::size_t>(
+                              row_ptr[static_cast<std::size_t>(r) + 1]),
+                     "merge_add_k: scatter count disagrees with count pass");
         }
       });
 
-  return Csr<T>(nrows, ncols, std::move(row_ptr), std::move(cols),
-                std::move(vals));
+  Csr<T> out(nrows, ncols, std::move(row_ptr), std::move(cols),
+             std::move(vals));
+  I2A_ENSURES(out.is_canonical(), "merge_add_k: non-canonical merge");
+  return out;
 }
 
 /// Two-run convenience: C = a ⊕ b (a folds first — a is the *older*
@@ -208,8 +213,11 @@ Csr<T> merge_add(const Csr<T>& a, const Csr<T>& b, const Add& add,
 }
 
 /// Operator-pair convenience: ⊕ is `p.add`, the same fold Theorem II.1's
-/// construction applies to parallel edges.
+/// construction applies to parallel edges. Only the ⊕ contract is
+/// required — a merge never touches ⊗ — so the constraint is
+/// `CommutativeMonoidAdd`, not the full `Semiring`.
 template <typename P>
+  requires algebra::CommutativeMonoidAdd<P>
 Csr<typename P::value_type> merge(
     const P& p, const Csr<typename P::value_type>& a,
     const Csr<typename P::value_type>& b, util::ThreadPool* pool = nullptr) {

@@ -47,8 +47,10 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/concepts.hpp"
 #include "core/types.hpp"
 #include "sparse/csr.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::sparse {
@@ -667,16 +669,23 @@ Csr<typename P::value_type> spgemm_two_pass(
 /// `pool` enables row-chunk parallelism (each chunk owns private scratch
 /// shared between the symbolic and numeric passes); null or
 /// single-thread pools run serially. Output is byte-identical across
-/// pool sizes.
+/// pool sizes. The `Semiring` constraint rejects structurally malformed
+/// pairs and pairs that declare a broken ⊕/⊗ law at compile time
+/// (algebra/concepts.hpp).
 template <typename P>
+  requires algebra::Semiring<P>
 Csr<typename P::value_type> spgemm(const P& p,
                                    const Csr<typename P::value_type>& a,
                                    const Csr<typename P::value_type>& b,
                                    SpGemmAlgo algo = SpGemmAlgo::kGustavson,
                                    util::ThreadPool* pool = nullptr) {
   using T = typename P::value_type;
-  assert(a.ncols() == b.nrows());
-  return detail::spgemm_two_pass(p, detail::CsrRowsView<T>{a}, b, algo, pool);
+  I2A_EXPECTS(a.ncols() == b.nrows(), "spgemm: inner dimensions disagree");
+  I2A_EXPECTS(a.is_canonical(), "spgemm: A not canonical CSR");
+  I2A_EXPECTS(b.is_canonical(), "spgemm: B not canonical CSR");
+  auto c = detail::spgemm_two_pass(p, detail::CsrRowsView<T>{a}, b, algo, pool);
+  I2A_ENSURES(c.is_canonical(), "spgemm: non-canonical product");
+  return c;
 }
 
 /// C = Aᵀ ⊕.⊗ B — the paper's product shape (A and B are both tall
@@ -684,13 +693,18 @@ Csr<typename P::value_type> spgemm(const P& p,
 /// Build the view once per incidence array and amortize it across
 /// products (forward + reverse adjacency, repeated algebra sweeps).
 template <typename P>
+  requires algebra::Semiring<P>
 Csr<typename P::value_type> spgemm_at_b(
     const P& p, const CscView<typename P::value_type>& at,
     const Csr<typename P::value_type>& b,
     SpGemmAlgo algo = SpGemmAlgo::kGustavson,
     util::ThreadPool* pool = nullptr) {
-  assert(at.ncols() == b.nrows());
-  return detail::spgemm_two_pass(p, at, b, algo, pool);
+  I2A_EXPECTS(at.ncols() == b.nrows(),
+              "spgemm_at_b: inner dimensions disagree");
+  I2A_EXPECTS(b.is_canonical(), "spgemm_at_b: B not canonical CSR");
+  auto c = detail::spgemm_two_pass(p, at, b, algo, pool);
+  I2A_ENSURES(c.is_canonical(), "spgemm_at_b: non-canonical product");
+  return c;
 }
 
 /// C = Aᵀ ⊕.⊗ B convenience overload: builds the CSC view internally
@@ -698,14 +712,20 @@ Csr<typename P::value_type> spgemm_at_b(
 /// same way the product does). Structure-only counting sort — unlike the
 /// old `transpose(a)` path, no value array is ever copied or re-laid-out.
 template <typename P>
+  requires algebra::Semiring<P>
 Csr<typename P::value_type> spgemm_at_b(
     const P& p, const Csr<typename P::value_type>& a,
     const Csr<typename P::value_type>& b,
     SpGemmAlgo algo = SpGemmAlgo::kGustavson,
     util::ThreadPool* pool = nullptr) {
-  assert(a.nrows() == b.nrows());
+  I2A_EXPECTS(a.nrows() == b.nrows(),
+              "spgemm_at_b: Aᵀ inner dimension disagrees with B");
+  I2A_EXPECTS(a.is_canonical(), "spgemm_at_b: A not canonical CSR");
+  I2A_EXPECTS(b.is_canonical(), "spgemm_at_b: B not canonical CSR");
   const CscView<typename P::value_type> at(a, pool);
-  return detail::spgemm_two_pass(p, at, b, algo, pool);
+  auto c = detail::spgemm_two_pass(p, at, b, algo, pool);
+  I2A_ENSURES(c.is_canonical(), "spgemm_at_b: non-canonical product");
+  return c;
 }
 
 }  // namespace i2a::sparse

@@ -35,12 +35,14 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/concepts.hpp"
 #include "core/types.hpp"
 #include "graph/graph.hpp"
 #include "graph/incidence.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/merge.hpp"
 #include "sparse/spgemm.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::stream {
@@ -55,9 +57,15 @@ enum class Weighting {
 };
 
 /// Maintains A over a batched edge stream for one operator pair.
-/// Thread-compatible, not thread-safe: one writer at a time; `adjacency`
-/// snapshots are value copies the caller owns outright.
+/// Thread-compatible, not thread-safe: all builder calls must be
+/// externally serialized (one at a time; any thread may make them when a
+/// mutex orders the handoff — pinned under TSan by test_stream's
+/// concurrent ingest/snapshot stress). `adjacency` snapshots are value
+/// copies the caller owns outright. The ladder regroups the ⊕-fold
+/// across batches and the per-batch delta is a full ⊕.⊗ product, so the
+/// pair must declare the complete `Semiring` contract.
 template <typename P>
+  requires algebra::Semiring<P>
 class AdjacencyBuilder {
  public:
   using value_type = typename P::value_type;
@@ -169,6 +177,8 @@ class AdjacencyBuilder {
     for (std::size_t i = j; i-- > 0;) runs.push_back(&*levels_[i]);
     runs.push_back(&delta);
     auto merged = sparse::merge_add_k(runs, add_fn(), pool_);
+    I2A_ENSURES(merged.is_canonical(),
+                "AdjacencyBuilder: compaction produced non-canonical run");
     ++stats_.compactions;
     stats_.merged_entries += static_cast<std::uint64_t>(merged.nnz());
     for (std::size_t i = 0; i < j; ++i) levels_[i].reset();

@@ -1,0 +1,81 @@
+#pragma once
+/// \file util/contract.hpp
+/// \brief Runtime invariant layer: `I2A_EXPECTS` (preconditions),
+///        `I2A_ENSURES` (postconditions) and `I2A_ASSERT` (internal
+///        invariants), active in Debug builds and under the
+///        `I2A_CHECK_INVARIANTS` CMake option, compiled to nothing in
+///        plain Release.
+///
+/// Policy (DESIGN.md §8): every kernel that *produces* a CSR states its
+/// canonical-form postcondition with `I2A_ENSURES`, and every kernel that
+/// *assumes* canonical input states that with `I2A_EXPECTS` — so
+/// structural corruption is caught at the boundary where it happens, not
+/// three kernels later as a wrong answer or an out-of-bounds read. The
+/// checks may be O(nnz); the gating keeps them out of production builds
+/// entirely (the macro argument is not evaluated when disabled).
+///
+/// A failed contract prints the kind, expression, location and message,
+/// then aborts — unless the translation unit defines
+/// `I2A_CONTRACT_VIOLATION_THROWS` before including any i2a header, in
+/// which case it throws `i2a::util::ContractViolation` instead. The
+/// throwing mode exists for tests (tests/test_contracts.cpp) that verify
+/// the checks actually fire; library code must treat a violation as
+/// unrecoverable either way.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+// Contracts are on when explicitly requested (I2A_CHECK_INVARIANTS, set
+// by the CMake option of the same name or per-TU) or in Debug (!NDEBUG).
+#if defined(I2A_CHECK_INVARIANTS) || !defined(NDEBUG)
+#define I2A_CONTRACTS_ENABLED 1
+#else
+#define I2A_CONTRACTS_ENABLED 0
+#endif
+
+namespace i2a::util {
+
+/// Thrown instead of aborting when I2A_CONTRACT_VIOLATION_THROWS is
+/// defined. Deliberately not derived from i2a's argument-validation
+/// exceptions: a contract violation is a library bug, not bad input.
+struct ContractViolation : std::logic_error {
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const char* msg) {
+#if defined(I2A_CONTRACT_VIOLATION_THROWS)
+  throw ContractViolation(std::string(kind) + " violated at " + file + ":" +
+                          std::to_string(line) + ": (" + expr + ") — " + msg);
+#else
+  std::fprintf(stderr, "i2a: %s violated at %s:%d: (%s) — %s\n", kind, file,
+               line, expr, msg);
+  std::abort();
+#endif
+}
+
+}  // namespace i2a::util
+
+#if I2A_CONTRACTS_ENABLED
+#define I2A_CONTRACT_CHECK_(kind, cond, msg)                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::i2a::util::contract_failed(kind, #cond, __FILE__, __LINE__,     \
+                                   msg);                                \
+    }                                                                   \
+  } while (0)
+#else
+#define I2A_CONTRACT_CHECK_(kind, cond, msg) \
+  do {                                       \
+  } while (0)
+#endif
+
+/// Precondition on a caller-supplied value (what the kernel assumes).
+#define I2A_EXPECTS(cond, msg) I2A_CONTRACT_CHECK_("precondition", cond, msg)
+/// Postcondition on a produced value (what the kernel guarantees).
+#define I2A_ENSURES(cond, msg) I2A_CONTRACT_CHECK_("postcondition", cond, msg)
+/// Internal invariant inside a kernel body.
+#define I2A_ASSERT(cond, msg) I2A_CONTRACT_CHECK_("invariant", cond, msg)

@@ -77,11 +77,24 @@ class ThreadPool {
   /// always covers the same row range for a given (n, size()), and no two
   /// chunks run with the same id, so scratch keyed by chunk id is both
   /// race-free and deterministic.
+  ///
+  /// Concurrency contract (pinned by test_thread_pool.cpp under TSan):
+  /// distinct threads may call into one pool simultaneously — each call
+  /// owns a private join state, so concurrent callers only share the
+  /// task queue. A *nested* call (from inside a running chunk) runs its
+  /// whole range serially as one chunk instead of enqueuing: the queue
+  /// is FIFO with no work stealing, so nested sub-chunks could otherwise
+  /// sit queued behind chunks whose threads are all blocked waiting on
+  /// those very sub-chunks — a deadlock. Serial nesting keeps the same
+  /// bytes (every engine is pool-size-invariant, and the serialized
+  /// decomposition is the pool-size-1 one); `num_chunks` describes
+  /// non-nested calls.
   void parallel_for_chunks(
       index_t n, const std::function<void(index_t, index_t, index_t)>& fn) {
     if (n <= 0) return;
     const auto chunks = static_cast<index_t>(size());
-    if (chunks == 1 || n == 1) {
+    if (chunks == 1 || n == 1 || in_chunk()) {
+      ChunkGuard guard;
       fn(0, 0, n);
       return;
     }
@@ -109,6 +122,7 @@ class ThreadPool {
       try {
         enqueue([state, &fn, begin, end, step] {
           try {
+            ChunkGuard guard;
             fn(begin / step, begin, end);
           } catch (...) {
             std::lock_guard<std::mutex> lock(state->mu);
@@ -136,6 +150,7 @@ class ThreadPool {
     // The caller runs the first chunk instead of idling. Its exception
     // must not propagate until every worker chunk has drained.
     try {
+      ChunkGuard guard;
       fn(0, 0, step < n ? step : n);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state->mu);
@@ -147,6 +162,25 @@ class ThreadPool {
   }
 
  private:
+  /// True while the current thread is executing a chunk body (of any
+  /// pool — the deadlock argument above only needs "this thread is
+  /// inside a fork/join region", and a cross-pool nested fan-out from a
+  /// blocked-upon chunk has the same shape).
+  static bool& in_chunk() {
+    static thread_local bool value = false;
+    return value;
+  }
+
+  /// RAII marker for chunk execution; restores the previous state so
+  /// sequential sibling calls after a nested region see it cleared.
+  struct ChunkGuard {
+    bool prev;
+    ChunkGuard() : prev(in_chunk()) { in_chunk() = true; }
+    ~ChunkGuard() { in_chunk() = prev; }
+    ChunkGuard(const ChunkGuard&) = delete;
+    ChunkGuard& operator=(const ChunkGuard&) = delete;
+  };
+
   void enqueue(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mu_);

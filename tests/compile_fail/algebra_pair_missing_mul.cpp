@@ -1,0 +1,25 @@
+// MUST NOT COMPILE — negative compile test for `AlgebraPair`.
+// A pair with no ⊗ at all fails the structural concept, so spgemm has no
+// viable overload: the error names the concept at the call, not a member
+// access pages deep inside the engine. Registered by
+// tests/CMakeLists.txt as a configure-time try_compile that must fail.
+
+#include <string_view>
+
+#include "sparse/csr.hpp"
+#include "sparse/spgemm.hpp"
+
+struct MissingMul {
+  using value_type = double;
+  static constexpr std::string_view name() { return "no-mul"; }
+  double zero() const { return 0.0; }
+  double one() const { return 1.0; }
+  double add(double a, double b) const { return a + b; }
+};
+
+int main() {
+  const MissingMul p;
+  const i2a::sparse::Csr<double> a(1, 1, {0, 1}, {0}, {1.0});
+  const auto c = i2a::sparse::spgemm(p, a, a);
+  return c.nnz() == 1 ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE — negative compile test for `AlgebraPair`.
+// ⊕ exists but returns void, so `{ p.add(v, v) } -> convertible_to<T>`
+// fails; the pair is rejected at spgemm's signature.
+
+#include <string_view>
+
+#include "sparse/csr.hpp"
+#include "sparse/spgemm.hpp"
+
+struct WrongAddType {
+  using value_type = double;
+  static constexpr std::string_view name() { return "void-add"; }
+  double zero() const { return 0.0; }
+  double one() const { return 1.0; }
+  void add(double, double) const {}
+  double mul(double a, double b) const { return a * b; }
+};
+
+int main() {
+  const WrongAddType p;
+  const i2a::sparse::Csr<double> a(1, 1, {0, 1}, {0}, {1.0});
+  const auto c = i2a::sparse::spgemm(p, a, a);
+  return c.nnz() == 1 ? 0 : 1;
+}

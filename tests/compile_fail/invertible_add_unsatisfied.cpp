@@ -1,0 +1,14 @@
+// MUST NOT COMPILE — negative compile test for `InvertibleAdd`.
+// No shipped pair exposes a ⊕-inverse (`sub`), so asserting the deletion
+// gate on PlusTimes is a static error. When the ROADMAP tombstone work
+// lands an invertible pair, it gets its own positive assertion in
+// test_contracts.cpp; this case pins that the gate is not vacuously true.
+
+#include "algebra/concepts.hpp"
+#include "algebra/pairs.hpp"
+
+static_assert(
+    i2a::algebra::InvertibleAdd<i2a::algebra::PlusTimes<double>>,
+    "PlusTimes has no sub(): this assertion must fail to compile");
+
+int main() { return 0; }

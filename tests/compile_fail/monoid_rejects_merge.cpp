@@ -1,0 +1,26 @@
+// MUST NOT COMPILE — negative compile test for `CommutativeMonoidAdd`.
+// A pair that *declares* a non-commutative ⊕ cannot enter the k-way
+// merge: the ladder regroups the fold across batches, which is only
+// sound for an associative-commutative ⊕ (merge's requires-clause).
+
+#include <string_view>
+
+#include "sparse/csr.hpp"
+#include "sparse/merge.hpp"
+
+struct LeftBiasedAdd {
+  using value_type = double;
+  static constexpr bool add_commutative = false;  // declared violation
+  static constexpr std::string_view name() { return "left-biased"; }
+  double zero() const { return 0.0; }
+  double one() const { return 1.0; }
+  double add(double a, double) const { return a; }
+  double mul(double a, double b) const { return a * b; }
+};
+
+int main() {
+  const LeftBiasedAdd p;
+  const i2a::sparse::Csr<double> a(1, 1, {0, 1}, {0}, {1.0});
+  const auto c = i2a::sparse::merge(p, a, a);
+  return c.nnz() == 1 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+// MUST NOT COMPILE — negative compile test for `Semiring`.
+// MaxPlusNonNeg declares `mul_annihilates = false` (its zero fails to
+// ⊗-annihilate — the Section III non-example), so it is a commutative
+// ⊕-monoid but not a semiring, and the SpGEMM entry point rejects it at
+// compile time. Its only supported route stays the unconstrained dense
+// full-semantics baseline.
+
+#include "algebra/non_examples.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/spgemm.hpp"
+
+int main() {
+  const i2a::algebra::MaxPlusNonNeg<double> p;
+  const i2a::sparse::Csr<double> a(1, 1, {0, 1}, {0}, {1.0});
+  const auto c = i2a::sparse::spgemm(p, a, a);
+  return c.nnz() == 1 ? 0 : 1;
+}

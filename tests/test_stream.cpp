@@ -13,11 +13,16 @@
 /// doubles.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "algebra/pairs.hpp"
@@ -181,6 +186,7 @@ void test_stats_untouched_when_merge_throws() {
   struct Boom {};
   struct ThrowingPlusTimes {
     using value_type = double;
+    static constexpr std::string_view name() { return "+.* (throwing)"; }
     double zero() const { return 0.0; }
     double one() const { return 1.0; }
     double add(double, double) const { throw Boom{}; }
@@ -221,6 +227,98 @@ void test_self_loops_and_parallel_edges_stream() {
   CHECK_EQ(a.at(2, 2, -1.0), 1.0);  // self-loop on the diagonal
 }
 
+void test_concurrent_ingest_snapshot() {
+  // The builder is thread-compatible: any thread may call it when a
+  // mutex orders the handoff (the header contract). One writer ingests,
+  // two readers snapshot under the same mutex, and a noise thread
+  // drives the shared pool concurrently with the builder's own pool
+  // use. Under the TSan CI leg this pins that external serialization
+  // plus the pool's internal synchronization are sufficient
+  // happens-before for cross-thread builder use — every snapshot must
+  // still byte-equal the prefix oracle for its batch count.
+  const auto g = stream_graph(32, 600, 7171);
+  const algebra::MinPlus<double> p;
+  const std::size_t batch = 15;
+  const auto& edges = g.edges();
+
+  // Prefix oracles, index k = number of batches ingested.
+  std::vector<sparse::Csr<double>> oracles;
+  {
+    graph::Graph prefix(g.num_vertices());
+    oracles.push_back(graph::adjacency_array(
+        p, graph::weighted_incidence_arrays(prefix, p)));
+    for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
+      const std::size_t hi = std::min(edges.size(), lo + batch);
+      for (std::size_t i = lo; i < hi; ++i) {
+        prefix.add_edge(edges[i].src, edges[i].dst, edges[i].weight);
+      }
+      oracles.push_back(graph::adjacency_array(
+          p, graph::weighted_incidence_arrays(prefix, p)));
+    }
+  }
+
+  util::ThreadPool pool(4);
+  stream::AdjacencyBuilder<algebra::MinPlus<double>> builder(
+      g.num_vertices(), p, stream::Weighting::kWeighted,
+      sparse::SpGemmAlgo::kAuto, &pool);
+  std::mutex mu;            // orders every builder call
+  std::size_t batches_done = 0;  // guarded by mu
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
+      const std::size_t hi = std::min(edges.size(), lo + batch);
+      std::lock_guard<std::mutex> lock(mu);
+      builder.ingest(
+          std::span<const graph::Edge>(edges.data() + lo, hi - lo));
+      ++batches_done;
+    }
+    done.store(true);
+  });
+
+  struct Observed {
+    std::size_t k;
+    sparse::Csr<double> snap;
+  };
+  std::vector<std::vector<Observed>> observed(2);
+  std::vector<std::thread> readers;
+  readers.reserve(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    readers.emplace_back([&, t] {
+      do {
+        Observed o;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          o.k = batches_done;
+          o.snap = builder.adjacency();
+        }
+        observed[t].push_back(std::move(o));
+      } while (!done.load());
+    });
+  }
+  std::thread noise([&] {  // independent pool traffic, no builder access
+    while (!done.load()) {
+      std::atomic<index_t> sum{0};
+      pool.parallel_for(256, [&](index_t lo, index_t hi) {
+        sum.fetch_add(hi - lo);
+      });
+      if (sum.load() != 256) std::abort();  // CHECK is main-thread-only
+    }
+  });
+  writer.join();
+  for (auto& r : readers) r.join();
+  noise.join();
+
+  for (const auto& per_reader : observed) {
+    CHECK(!per_reader.empty());
+    for (const auto& o : per_reader) {
+      CHECK(o.k < oracles.size());
+      CHECK(csr_bitwise_equal(o.snap, oracles[o.k]));
+    }
+  }
+  CHECK(csr_bitwise_equal(builder.adjacency(), oracles.back()));
+}
+
 }  // namespace
 
 int main() {
@@ -230,5 +328,6 @@ int main() {
   test_ingest_validation();
   test_stats_untouched_when_merge_throws();
   test_self_loops_and_parallel_edges_stream();
+  test_concurrent_ingest_snapshot();
   return TEST_MAIN_RESULT();
 }
