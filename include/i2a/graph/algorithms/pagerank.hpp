@@ -5,7 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "algebra/concepts.hpp"
 #include "sparse/csr.hpp"
+#include "stream/pinned_snapshot.hpp"
 
 namespace i2a::graph {
 
@@ -59,6 +61,19 @@ std::vector<double> pagerank(const sparse::Csr<T>& a, double damping,
     if (delta < tol) break;
   }
   return rank;
+}
+
+/// PageRank against a live builder's pinned snapshot. Power iteration
+/// sweeps every row max_iters times, so this materializes the pinned
+/// runs once (one k-way ⊕-merge, no further writer interaction) and
+/// runs the CSR overload on the result; the zero element comes from the
+/// snapshot's pair. Identical output to rebuilding the covered prefix.
+template <typename P>
+  requires algebra::Semiring<P>
+std::vector<double> pagerank(const stream::PinnedSnapshot<P>& snap,
+                             double damping, double tol, int max_iters) {
+  return pagerank(snap.materialize(), damping, tol, max_iters,
+                  snap.pair().zero());
 }
 
 }  // namespace i2a::graph

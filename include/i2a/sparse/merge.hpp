@@ -44,6 +44,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -203,13 +204,27 @@ Csr<T> merge_add_k(const std::vector<const Csr<T>*>& runs, const Add& add,
   return out;
 }
 
+/// Refcounted-run overload: the shape `PinnedSnapshot` and the ladder
+/// hold runs in. The handles pin the runs for the duration of the merge;
+/// the fold itself is identical to the raw-pointer overload.
+template <typename T, typename Add>
+Csr<T> merge_add_k(
+    const std::vector<std::shared_ptr<const Csr<T>>>& runs, const Add& add,
+    util::ThreadPool* pool = nullptr, const T* drop_zero = nullptr) {
+  std::vector<const Csr<T>*> ptrs;
+  ptrs.reserve(runs.size());
+  for (const auto& r : runs) ptrs.push_back(r.get());
+  return merge_add_k<T, Add>(ptrs, add, pool, drop_zero);
+}
+
 /// Two-run convenience: C = a ⊕ b (a folds first — a is the *older*
 /// array when maintaining an adjacency).
 template <typename T, typename Add>
 Csr<T> merge_add(const Csr<T>& a, const Csr<T>& b, const Add& add,
                  util::ThreadPool* pool = nullptr,
                  const T* drop_zero = nullptr) {
-  return merge_add_k<T, Add>({&a, &b}, add, pool, drop_zero);
+  return merge_add_k(std::vector<const Csr<T>*>{&a, &b}, add, pool,
+                     drop_zero);
 }
 
 /// Operator-pair convenience: ⊕ is `p.add`, the same fold Theorem II.1's

@@ -1,35 +1,72 @@
 #pragma once
 /// \file stream/adjacency_builder.hpp
-/// \brief Streaming/batched adjacency maintenance: ingest edge batches,
-///        keep the adjacency array A = Eᵀout ⊕.⊗ Ein current without ever
-///        rebuilding it from the full edge list.
+/// \brief Concurrent streaming adjacency maintenance: ingest edge
+///        batches, keep A = Eᵀout ⊕.⊗ Ein current, and serve lock-free
+///        epoch-pinned snapshots to readers while the writer appends and
+///        compacts.
 ///
 /// The paper states Theorem II.1 for a static edge list; a serving
-/// system sees edges in batches. Because the theorem's per-(i,j) value
-/// is a ⊕-fold over parallel edges and ⊕ is associative, the fold can be
-/// computed incrementally: build each batch's *delta* adjacency with the
-/// ordinary sort-free incidence + SpGEMM path (graph/incidence.hpp),
-/// then ⊕-merge deltas into the running array (sparse/merge.hpp). Age
-/// order is preserved end to end — older batches always fold first — so
-/// the maintained array is byte-identical to a full rebuild from the
-/// concatenated edge list (pinned by test_stream.cpp across batch sizes,
-/// pool sizes, and algebras).
+/// system sees edges in batches *and queries between them*. Because the
+/// theorem's per-(i,j) value is a ⊕-fold over parallel edges and ⊕ is
+/// associative, the fold can be computed incrementally: build each
+/// batch's *delta* adjacency with the ordinary sort-free incidence +
+/// SpGEMM path (graph/incidence.hpp), keep the deltas as immutable
+/// refcounted runs, and ⊕-merge them — lazily for queries, eagerly for
+/// compaction (sparse/merge.hpp). Age order is preserved end to end, so
+/// every snapshot is byte-identical to a full rebuild from the
+/// concatenated prefix of batches it covers.
 ///
-/// Merging every batch into one master array would cost O(master nnz)
-/// per batch — quadratic over a stream of small batches. Instead the
-/// builder keeps a **geometric compaction ladder** (the LSM-tree /
-/// logarithmic-method shape): level i holds one immutable CSR run
-/// covering exactly 2^i consecutive batches, occupancy follows the
-/// binary representation of the batch count, and an ingest that finds
-/// levels 0..j-1 occupied compacts them — one (j+1)-way ⊕-merge of
-/// [level j-1 … level 0, delta], oldest first — into level j. Each
-/// stored entry is rewritten O(log #batches) times total, so sustained
-/// ingest is amortized O(nnz · log batches) instead of O(nnz · batches),
-/// and a snapshot query is a single k-way merge of the ≤ log₂(batches)+1
-/// live runs.
+/// **Run-list ladder.** The builder keeps a list of immutable CSR runs,
+/// oldest first, each covering a consecutive interval of batches — the
+/// logarithmic-method / LSM shape expressed as a list instead of
+/// fixed-power-of-two slots, so compaction can happen asynchronously.
+/// After appending a batch's delta (weight 1), the *compaction policy*
+/// merges the maximal balanced suffix: the longest tail of runs in which
+/// every run's weight is ≤ the combined weight of the runs after it.
+/// Settled run weights are therefore super-increasing, which bounds live
+/// runs by log₂(batches) + 1 and rewrites each stored entry O(log
+/// batches) times total — the same amortized O(nnz · log batches)
+/// maintenance as the PR 4 binary-counter ladder, with identical bytes.
+///
+/// **Concurrency model (the serving core).** Single writer, any number
+/// of readers:
+///
+///   * `snapshot()` — callable from ANY thread at ANY time, concurrent
+///     with ingest and compaction. It takes the ladder lock only to copy
+///     O(log batches) shared_ptrs plus the epoch counter, then the
+///     reader traverses its `PinnedSnapshot` with no further
+///     synchronization. Retired runs are reclaimed when the last
+///     snapshot pinning them drops (refcount = epoch drain).
+///   * `ingest()` — one thread at a time (external serialization; any
+///     thread may be the writer when a mutex orders the handoff). The
+///     expensive delta build runs without the ladder lock; publishing
+///     the delta is an O(log batches) append under the lock.
+///   * Compaction — `Compaction::kInline` (default) merges synchronously
+///     inside `ingest`, preserving the PR 4 semantics (strict ladder
+///     bound after every ingest, merge exceptions thrown from the
+///     offending `ingest`, stats untouched on failure). In
+///     `Compaction::kBackground` mode, `ingest` only *schedules* the
+///     merge as a detached `ThreadPool::submit` task and returns; the
+///     task replaces the merged group under the lock when done and
+///     re-schedules itself while more suffixes qualify. Readers are
+///     never blocked by a merge in either mode: inline compaction works
+///     on a private copy of the run list and commits by pointer swap.
+///     A background merge failure (⊕ may throw; so may allocation) is
+///     captured and rethrown from the *next* `ingest()` call —
+///     `drain()` lets tests and shutdown paths wait for the ladder to
+///     settle first.
+///
+/// Canonical-CSR postconditions (`I2A_ENSURES`) hold for every run the
+/// ladder ever exposes, whether an inline merge, a background-task
+/// merge, or a per-batch delta produced it — the Debug/
+/// `I2A_CHECK_INVARIANTS` CI legs execute the background path too.
 
+#include <condition_variable>
 #include <cstdint>
-#include <optional>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -42,10 +79,15 @@
 #include "sparse/csr.hpp"
 #include "sparse/merge.hpp"
 #include "sparse/spgemm.hpp"
+#include "stream/pinned_snapshot.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::stream {
+
+template <typename P>
+  requires algebra::Semiring<P>
+class ShardedBuilder;
 
 /// How a batch's incidence arrays draw their entries — mirrors the two
 /// batch-construction entry points (`incidence_arrays` /
@@ -56,12 +98,18 @@ enum class Weighting {
                 ///< folds edge weights (min.+ SSSP-ready, etc.)
 };
 
+/// Where ladder compactions run (see the file comment's concurrency
+/// model).
+enum class Compaction {
+  kInline,      ///< merge synchronously inside ingest (PR 4 semantics)
+  kBackground,  ///< schedule merges as detached ThreadPool tasks
+};
+
 /// Maintains A over a batched edge stream for one operator pair.
-/// Thread-compatible, not thread-safe: all builder calls must be
-/// externally serialized (one at a time; any thread may make them when a
-/// mutex orders the handoff — pinned under TSan by test_stream's
-/// concurrent ingest/snapshot stress). `adjacency` snapshots are value
-/// copies the caller owns outright. The ladder regroups the ⊕-fold
+/// Writer calls (`ingest`) must be externally serialized; `snapshot`,
+/// `adjacency`, `stats`, `num_levels` and `drain` are safe from any
+/// thread concurrently with the writer and with background compaction
+/// (pinned under TSan by test_serve). The ladder regroups the ⊕-fold
 /// across batches and the per-batch delta is a full ⊕.⊗ product, so the
 /// pair must declare the complete `Semiring` contract.
 template <typename P>
@@ -70,7 +118,7 @@ class AdjacencyBuilder {
  public:
   using value_type = typename P::value_type;
 
-  /// Maintenance-cost accounting, the bench_stream counters.
+  /// Maintenance-cost accounting, the bench counters.
   struct Stats {
     std::uint64_t batches = 0;          ///< ingested batches (incl. empty)
     std::uint64_t edges = 0;            ///< ingested edges
@@ -82,53 +130,64 @@ class AdjacencyBuilder {
   explicit AdjacencyBuilder(index_t num_vertices, P p = P{},
                             Weighting weighting = Weighting::kUnweighted,
                             sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
-                            util::ThreadPool* pool = nullptr)
+                            util::ThreadPool* pool = nullptr,
+                            Compaction compaction = Compaction::kInline)
       : n_(num_vertices), p_(p), weighting_(weighting), algo_(algo),
-        pool_(pool) {
+        pool_(pool), compaction_(compaction),
+        ladder_(std::make_shared<Ladder>()) {
     if (num_vertices < 0) {
       throw std::invalid_argument("AdjacencyBuilder: negative vertex count");
     }
+    if (compaction_ == Compaction::kBackground && pool_ == nullptr) {
+      // No pool means nothing can host the task; degrade to inline
+      // rather than silently never compacting.
+      compaction_ = Compaction::kInline;
+    }
   }
+
+  // One ladder, one owner: copying would alias the mutable run list.
+  // Moves keep vector<AdjacencyBuilder> (the shard array) workable.
+  AdjacencyBuilder(const AdjacencyBuilder&) = delete;
+  AdjacencyBuilder& operator=(const AdjacencyBuilder&) = delete;
+  AdjacencyBuilder(AdjacencyBuilder&&) noexcept = default;
+  AdjacencyBuilder& operator=(AdjacencyBuilder&&) noexcept = default;
+
+  /// Destruction is safe while a background compaction is still in
+  /// flight: the task owns the ladder via shared_ptr and the pool drains
+  /// queued tasks before its own teardown. (The pool must simply outlive
+  /// every call into this builder, as for all pool users.)
+  ~AdjacencyBuilder() = default;
 
   index_t num_vertices() const { return n_; }
-  const Stats& stats() const { return stats_; }
 
-  /// Live ladder runs (≤ log₂(batches) + 1).
-  index_t num_levels() const {
-    index_t live = 0;
-    for (const auto& l : levels_) live += l.has_value() ? 1 : 0;
-    return live;
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(ladder_->mu);
+    return ladder_->stats;
   }
 
-  /// Ingest one batch: validate, run the batch through the sort-free
-  /// incidence + SpGEMM path to a delta CSR, and push the delta onto the
-  /// compaction ladder. Out-of-range endpoints reject the whole batch
-  /// before any state changes.
+  /// Live ladder runs. ≤ log₂(batches) + 1 whenever the ladder is
+  /// settled — always after an inline-mode `ingest`, and after `drain()`
+  /// in background mode (mid-flight the count may transiently exceed the
+  /// bound while appends outpace the in-flight merge).
+  index_t num_levels() const {
+    std::lock_guard<std::mutex> lock(ladder_->mu);
+    return static_cast<index_t>(ladder_->runs.size());
+  }
+
+  /// Ingest one batch: validate, rethrow any pending background-merge
+  /// failure, build the batch's delta CSR (sort-free incidence + SpGEMM,
+  /// no ladder lock held), and publish it onto the run list.
+  /// Out-of-range endpoints reject the whole batch before any state
+  /// changes.
   void ingest(std::span<const graph::Edge> batch) {
+    rethrow_pending_error();
     for (const graph::Edge& e : batch) {
       if (e.src < 0 || e.src >= n_ || e.dst < 0 || e.dst >= n_) {
         throw std::out_of_range("AdjacencyBuilder::ingest: edge endpoint "
                                 "out of range");
       }
     }
-    if (batch.empty()) {  // ⊕-identity contribution: nothing to fold
-      ++stats_.batches;
-      return;
-    }
-    graph::Graph g(n_);
-    g.edges().assign(batch.begin(), batch.end());
-    const auto inc = weighting_ == Weighting::kWeighted
-                         ? graph::weighted_incidence_arrays(g, p_, pool_)
-                         : graph::incidence_arrays(g, p_, pool_);
-    auto delta = graph::adjacency_array(p_, inc, algo_, pool_);
-    const auto delta_nnz = static_cast<std::uint64_t>(delta.nnz());
-    push_run(std::move(delta));
-    // Accounting last: if the delta build or a ladder merge throws (⊕ may
-    // throw; allocation can fail), stats must not claim a batch the
-    // ladder never received.
-    ++stats_.batches;
-    stats_.edges += batch.size();
-    stats_.delta_entries += delta_nnz;
+    publish(stage(batch), batch.size());
   }
 
   /// Edge-list convenience overload.
@@ -136,53 +195,235 @@ class AdjacencyBuilder {
     ingest(std::span<const graph::Edge>(batch.data(), batch.size()));
   }
 
-  /// Snapshot of the maintained adjacency array: one k-way ⊕-merge of
-  /// the live runs, oldest first. Byte-identical to
+  /// Pin the live run-set: O(log batches) shared_ptr copies under the
+  /// ladder lock, then the returned snapshot is traversed with no
+  /// further synchronization. See stream/pinned_snapshot.hpp.
+  PinnedSnapshot<P> snapshot() const {
+    std::vector<std::shared_ptr<const sparse::Csr<value_type>>> pins;
+    std::uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(ladder_->mu);
+      pins.reserve(ladder_->runs.size());
+      for (const auto& run : ladder_->runs) pins.push_back(run.csr);
+      epoch = ladder_->stats.batches;
+    }
+    return PinnedSnapshot<P>(n_, p_, epoch, std::move(pins));
+  }
+
+  /// Materialized snapshot of the maintained adjacency array: one k-way
+  /// ⊕-merge of the live runs, oldest first. Byte-identical to
   /// `build_adjacency` / `adjacency_array` over the concatenation of
   /// every ingested batch.
   sparse::Csr<value_type> adjacency() const {
-    std::vector<const sparse::Csr<value_type>*> runs;
-    runs.reserve(levels_.size());
-    for (std::size_t i = levels_.size(); i-- > 0;) {  // oldest (highest) first
-      if (levels_[i].has_value()) runs.push_back(&*levels_[i]);
-    }
-    if (runs.empty()) {
-      return sparse::Csr<value_type>(
-          n_, n_, std::vector<index_t>(static_cast<std::size_t>(n_) + 1, 0),
-          {}, {});
-    }
-    return sparse::merge_add_k(runs, add_fn(), pool_);
+    return snapshot().materialize(pool_);
+  }
+
+  /// Block until no background compaction is in flight and no further
+  /// one is scheduled (no-op in inline mode). A merge failure ends the
+  /// chain too — it then surfaces on the next `ingest()`.
+  void drain() const {
+    std::unique_lock<std::mutex> lock(ladder_->mu);
+    ladder_->cv.wait(lock, [this] { return !ladder_->compacting; });
   }
 
  private:
+  template <typename Q>
+    requires algebra::Semiring<Q>
+  friend class ShardedBuilder;
+
+  /// One immutable ladder run: the ⊕-fold of `weight` consecutive
+  /// non-empty batches.
+  struct Run {
+    std::shared_ptr<const sparse::Csr<value_type>> csr;
+    std::uint64_t weight;
+  };
+
+  /// Shared ladder state. Refcounted so background compaction tasks can
+  /// outlive the builder object itself; `mu` guards every member.
+  struct Ladder {
+    mutable std::mutex mu;
+    std::condition_variable cv;   ///< signaled when a compaction settles
+    std::vector<Run> runs;        ///< oldest first, consecutive intervals
+    Stats stats;
+    bool compacting = false;      ///< a background merge is in flight
+    std::exception_ptr error;     ///< failed background merge, if any
+  };
+
   auto add_fn() const {
     return [p = p_](const value_type& x, const value_type& y) {
       return p.add(x, y);
     };
   }
 
-  /// Binary-counter carry: the delta lands at the first free level, after
-  /// compacting every occupied level below it in one k-way merge (oldest
-  /// run first, delta last — fold order is batch order).
-  void push_run(sparse::Csr<value_type> delta) {
-    std::size_t j = 0;
-    while (j < levels_.size() && levels_[j].has_value()) ++j;
-    if (j >= levels_.size()) levels_.resize(j + 1);
-    if (j == 0) {
-      levels_[0] = std::move(delta);
+  void rethrow_pending_error() {
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(ladder_->mu);
+      err = std::exchange(ladder_->error, nullptr);
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  /// Build a batch's delta adjacency — no ladder state is touched, so
+  /// staging runs lock-free (and `ShardedBuilder` stages every shard
+  /// before taking its publish lock). Returns nullptr for an empty batch
+  /// (the ⊕-identity contribution).
+  std::shared_ptr<const sparse::Csr<value_type>> stage(
+      std::span<const graph::Edge> batch) const {
+    if (batch.empty()) return nullptr;
+    graph::Graph g(n_);
+    g.edges().assign(batch.begin(), batch.end());
+    const auto inc = weighting_ == Weighting::kWeighted
+                         ? graph::weighted_incidence_arrays(g, p_, pool_)
+                         : graph::incidence_arrays(g, p_, pool_);
+    auto delta = graph::adjacency_array(p_, inc, algo_, pool_);
+    I2A_ENSURES(delta.is_canonical(),
+                "AdjacencyBuilder: staged delta not canonical");
+    return std::make_shared<const sparse::Csr<value_type>>(std::move(delta));
+  }
+
+  /// Publish a staged delta: append it to the run list and compact per
+  /// the configured mode. Inline mode commits runs + stats atomically
+  /// only after every merge succeeded (a throwing ⊕ leaves the builder
+  /// exactly as before the batch); background mode appends, bumps stats,
+  /// and schedules the merge task.
+  void publish(std::shared_ptr<const sparse::Csr<value_type>> delta,
+               std::size_t batch_edges) {
+    const auto delta_nnz = static_cast<std::uint64_t>(
+        delta ? delta->nnz() : 0);
+    if (compaction_ == Compaction::kInline) {
+      publish_inline(std::move(delta), batch_edges, delta_nnz);
       return;
     }
-    std::vector<const sparse::Csr<value_type>*> runs;
-    runs.reserve(j + 1);
-    for (std::size_t i = j; i-- > 0;) runs.push_back(&*levels_[i]);
-    runs.push_back(&delta);
-    auto merged = sparse::merge_add_k(runs, add_fn(), pool_);
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(ladder_->mu);
+      if (delta) ladder_->runs.push_back(Run{std::move(delta), 1});
+      ++ladder_->stats.batches;
+      ladder_->stats.edges += batch_edges;
+      ladder_->stats.delta_entries += delta_nnz;
+      task = plan_task_locked(ladder_, pool_, p_);
+    }
+    // Submitted outside the lock: on a workerless pool the task runs
+    // inline, and it must be able to take the ladder lock itself.
+    if (task) pool_->submit(std::move(task));
+  }
+
+  void publish_inline(std::shared_ptr<const sparse::Csr<value_type>> delta,
+                      std::size_t batch_edges, std::uint64_t delta_nnz) {
+    // Work on a private copy of the run list (cheap shared_ptr copies):
+    // concurrent readers keep pinning the old list mid-merge, and a
+    // throwing ⊕ must leave runs and stats untouched.
+    std::vector<Run> runs;
+    {
+      std::lock_guard<std::mutex> lock(ladder_->mu);
+      runs = ladder_->runs;
+    }
+    if (delta) runs.push_back(Run{std::move(delta), 1});
+    std::uint64_t compactions = 0;
+    std::uint64_t merged_entries = 0;
+    for (auto [lo, hi] = compaction_plan(runs); hi > lo;
+         std::tie(lo, hi) = compaction_plan(runs)) {
+      Run merged = merge_group(runs, lo, hi, p_, pool_);
+      merged_entries += static_cast<std::uint64_t>(merged.csr->nnz());
+      ++compactions;
+      runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                 runs.begin() + static_cast<std::ptrdiff_t>(hi));
+      runs[lo] = std::move(merged);
+    }
+    std::lock_guard<std::mutex> lock(ladder_->mu);
+    ladder_->runs = std::move(runs);
+    ++ladder_->stats.batches;
+    ladder_->stats.edges += batch_edges;
+    ladder_->stats.delta_entries += delta_nnz;
+    ladder_->stats.compactions += compactions;
+    ladder_->stats.merged_entries += merged_entries;
+  }
+
+  /// The compaction policy: merge the maximal *balanced* suffix — the
+  /// longest tail in which every run's weight is ≤ the combined weight
+  /// of the runs after it. Returns [lo, hi) over `runs`, empty (hi ==
+  /// lo) when nothing qualifies. Settled lists are super-increasing ⇒
+  /// ≤ log₂(total weight) + 1 runs, and each entry is remerged O(log)
+  /// times — the logarithmic method, async-friendly.
+  static std::pair<std::size_t, std::size_t> compaction_plan(
+      const std::vector<Run>& runs) {
+    if (runs.size() < 2) return {0, 0};
+    std::size_t lo = runs.size() - 1;
+    std::uint64_t tail = runs[lo].weight;
+    while (lo > 0 && runs[lo - 1].weight <= tail) {
+      tail += runs[lo - 1].weight;
+      --lo;
+    }
+    if (runs.size() - lo < 2) return {0, 0};
+    return {lo, runs.size()};
+  }
+
+  /// k-way ⊕-merge of runs[lo, hi), oldest first. Background tasks call
+  /// this with pool == nullptr: the merge is pool-size invariant, and a
+  /// detached task must not fan back into the pool it occupies.
+  static Run merge_group(const std::vector<Run>& runs, std::size_t lo,
+                         std::size_t hi, const P& p,
+                         util::ThreadPool* pool) {
+    std::vector<const sparse::Csr<value_type>*> group;
+    group.reserve(hi - lo);
+    std::uint64_t weight = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      group.push_back(runs[i].csr.get());
+      weight += runs[i].weight;
+    }
+    auto merged = sparse::merge_add_k(
+        group,
+        [&p](const value_type& x, const value_type& y) {
+          return p.add(x, y);
+        },
+        pool);
     I2A_ENSURES(merged.is_canonical(),
                 "AdjacencyBuilder: compaction produced non-canonical run");
-    ++stats_.compactions;
-    stats_.merged_entries += static_cast<std::uint64_t>(merged.nnz());
-    for (std::size_t i = 0; i < j; ++i) levels_[i].reset();
-    levels_[j] = std::move(merged);
+    return Run{std::make_shared<const sparse::Csr<value_type>>(
+                   std::move(merged)),
+               weight};
+  }
+
+  /// Under the ladder lock: if no merge is in flight and a suffix
+  /// qualifies, mark one in flight and return the task that performs it.
+  /// The task owns the ladder via shared_ptr (it may outlive the
+  /// builder), captures the group's run handles by value (the runs are
+  /// immutable; list indices stay valid because the writer only appends
+  /// and only this task replaces), and re-plans on completion so carry
+  /// chains keep compacting without writer involvement.
+  static std::function<void()> plan_task_locked(std::shared_ptr<Ladder> lad,
+                                                util::ThreadPool* pool, P p) {
+    if (lad->compacting) return nullptr;
+    const auto [lo, hi] = compaction_plan(lad->runs);
+    if (hi <= lo) return nullptr;
+    lad->compacting = true;
+    std::vector<Run> group(lad->runs.begin() + static_cast<std::ptrdiff_t>(lo),
+                           lad->runs.begin() + static_cast<std::ptrdiff_t>(hi));
+    return [lad = std::move(lad), pool, p = std::move(p),
+            group = std::move(group), lo, hi]() mutable {
+      std::function<void()> next;
+      try {
+        Run merged = merge_group(group, 0, group.size(), p, nullptr);
+        std::lock_guard<std::mutex> lock(lad->mu);
+        lad->runs.erase(
+            lad->runs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+            lad->runs.begin() + static_cast<std::ptrdiff_t>(hi));
+        lad->runs[lo] = std::move(merged);
+        ++lad->stats.compactions;
+        lad->stats.merged_entries +=
+            static_cast<std::uint64_t>(lad->runs[lo].csr->nnz());
+        lad->compacting = false;
+        next = plan_task_locked(lad, pool, p);
+        lad->cv.notify_all();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(lad->mu);
+        lad->error = std::current_exception();
+        lad->compacting = false;
+        lad->cv.notify_all();
+      }
+      if (next) pool->submit(std::move(next));
+    };
   }
 
   index_t n_;
@@ -190,10 +431,8 @@ class AdjacencyBuilder {
   Weighting weighting_;
   sparse::SpGemmAlgo algo_;
   util::ThreadPool* pool_;
-  /// levels_[i], when occupied, is the ⊕-fold of 2^i consecutive batches;
-  /// higher levels hold strictly older batches.
-  std::vector<std::optional<sparse::Csr<value_type>>> levels_;
-  Stats stats_;
+  Compaction compaction_;
+  std::shared_ptr<Ladder> ladder_;
 };
 
 }  // namespace i2a::stream

@@ -13,8 +13,16 @@
 /// predicts it — so callers can preallocate per-chunk scratch once and
 /// reuse it across consecutive passes (the SpGEMM engine's symbolic and
 /// numeric passes share accumulators this way).
+///
+/// `submit` adds detached background execution (the streaming builder's
+/// compaction tasks): a fire-and-forget callable that runs on a worker
+/// as soon as one is free, with the same FIFO queue the fork/join chunks
+/// use. Queued submissions are drained — not dropped — by the
+/// destructor, so a submitted task always runs exactly once.
 
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -159,6 +167,35 @@ class ThreadPool {
     std::unique_lock<std::mutex> lock(state->mu);
     state->cv.wait(lock, [&] { return state->pending == 0; });
     if (state->error) std::rethrow_exception(state->error);
+  }
+
+  /// Detached background task: runs once on a worker thread (FIFO with
+  /// the fork/join chunks), or inline — before `submit` returns — when
+  /// the pool has no workers, so background work never silently starves
+  /// on a single-threaded pool. The task body executes under the same
+  /// in-chunk marker as a fork/join chunk: a submitted task that fans
+  /// back into this pool with `parallel_for` runs that region serially,
+  /// by the identical FIFO-starvation argument as nested chunks (its
+  /// sub-chunks could sit queued behind tasks whose workers are blocked
+  /// waiting on them). The callable must not let exceptions escape —
+  /// there is no caller join to deliver them to, so an escape aborts
+  /// loudly instead of feeding std::terminate a mystery.
+  void submit(std::function<void()> task) {
+    auto guarded = [t = std::move(task)] {
+      ChunkGuard guard;
+      try {
+        t();
+      } catch (...) {
+        std::fprintf(stderr,
+                     "i2a: exception escaped a ThreadPool::submit task\n");
+        std::abort();
+      }
+    };
+    if (workers_.empty()) {
+      guarded();
+      return;
+    }
+    enqueue(std::move(guarded));
   }
 
  private:

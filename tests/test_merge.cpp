@@ -206,7 +206,8 @@ void test_shape_mismatch_rejected() {
   CHECK(threw);
   threw = false;
   try {
-    (void)sparse::merge_add_k<double>({}, plus);
+    (void)sparse::merge_add_k(std::vector<const sparse::Csr<double>*>{},
+                              plus);
   } catch (const std::invalid_argument&) {
     threw = true;
   }

@@ -2,9 +2,16 @@
 /// \brief The ThreadPool contract, pinned: construction edge cases
 ///        (0/1/N threads), the chunk decomposition `num_chunks`
 ///        predicts, exception propagation semantics, nested-submission
-///        serialization, concurrent callers sharing one pool, and
-///        repeated teardown. The whole file is TSan-clean by design —
-///        the TSan CI leg runs it as the pool's race-detection stress.
+///        serialization, concurrent callers sharing one pool, repeated
+///        teardown, and the `submit` background-task contract — run
+///        exactly once, inline when workerless, drained (not dropped) at
+///        destruction, serialized when fanning back into the pool — plus
+///        the streaming builder's background-compaction lifecycle built
+///        on it: tasks outliving destroyed snapshots and builders, and a
+///        failed background merge surfacing on the next `ingest()`. The
+///        whole file is TSan-clean by design — the TSan CI leg runs it
+///        as the pool's race-detection stress — and leak-free under the
+///        ASan leg (detached tasks own their state via shared_ptr).
 
 #include <atomic>
 #include <cstddef>
@@ -12,10 +19,15 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "algebra/pairs.hpp"
 #include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/incidence.hpp"
+#include "stream/adjacency_builder.hpp"
 #include "util/thread_pool.hpp"
 #include "test_util.hpp"
 
@@ -257,6 +269,140 @@ void test_repeated_teardown() {
   }
 }
 
+void test_submit_basics() {
+  // A submitted task runs exactly once.
+  util::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  while (ran.load() == 0) std::this_thread::yield();
+  CHECK_EQ(ran.load(), 1);
+
+  // Workerless pool: the task runs inline, before submit returns.
+  util::ThreadPool serial(1);
+  int inline_ran = 0;
+  serial.submit([&] { inline_ran = 42; });
+  CHECK_EQ(inline_ran, 42);
+
+  // Destruction drains queued submissions instead of dropping them.
+  std::atomic<int> drained{0};
+  {
+    util::ThreadPool p2(2);
+    for (int i = 0; i < 64; ++i) {
+      p2.submit([&] { drained.fetch_add(1); });
+    }
+  }
+  CHECK_EQ(drained.load(), 64);
+
+  // A task fanning back into its own pool serializes that region (same
+  // FIFO-starvation argument as nested chunks): every nested invocation
+  // is chunk 0.
+  std::atomic<int> max_chunk{-1};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    pool.parallel_for_chunks(100, [&](index_t c, index_t, index_t) {
+      int cur = max_chunk.load();
+      while (static_cast<index_t>(cur) < c &&
+             !max_chunk.compare_exchange_weak(cur, static_cast<int>(c))) {
+      }
+    });
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  CHECK_EQ(max_chunk.load(), 0);
+}
+
+void test_background_task_outlives_snapshot() {
+  // Pin a snapshot, then trigger a background compaction over the very
+  // runs it pins, and destroy the snapshot while the merge may still be
+  // running. The refcounts must keep every run alive exactly as long as
+  // someone needs it (ASan would flag the use-after-free, TSan the
+  // unsynchronized handoff).
+  const algebra::PlusTimes<double> p;
+  util::ThreadPool pool(2);
+  stream::AdjacencyBuilder<algebra::PlusTimes<double>> builder(
+      8, p, stream::Weighting::kUnweighted, sparse::SpGemmAlgo::kAuto, &pool,
+      stream::Compaction::kBackground);
+  graph::Graph all(8);
+  const std::vector<graph::Edge> batches[] = {
+      {{0, 1, 1.0}}, {{1, 2, 1.0}}, {{2, 3, 1.0}}, {{0, 1, 1.0}}};
+  for (int i = 0; i < 3; ++i) {
+    builder.ingest(batches[i]);
+    for (const auto& e : batches[i]) all.add_edge(e.src, e.dst, e.weight);
+  }
+  {
+    const auto snap = builder.snapshot();  // pins the pre-compaction runs
+    CHECK_EQ(snap.batches(), 3u);
+    builder.ingest(batches[3]);  // schedules a merge over pinned runs
+    for (const auto& e : batches[3]) all.add_edge(e.src, e.dst, e.weight);
+  }  // snapshot dies here, compaction possibly mid-flight
+  builder.drain();
+  CHECK(i2a::test::csr_bitwise_equal(builder.adjacency(),
+                                     graph::build_adjacency(all, p)));
+}
+
+void test_builder_destroyed_with_task_in_flight() {
+  // The builder may die before its compaction task runs: the task owns
+  // the ladder via shared_ptr and the pool drains its queue at
+  // destruction, so nothing dangles and nothing leaks (ASan leg).
+  util::ThreadPool pool(2);
+  {
+    stream::AdjacencyBuilder<algebra::PlusTimes<double>> builder(
+        8, {}, stream::Weighting::kUnweighted, sparse::SpGemmAlgo::kAuto,
+        &pool, stream::Compaction::kBackground);
+    for (index_t i = 0; i < 6; ++i) {
+      builder.ingest(std::vector<graph::Edge>{{i % 7, i % 7 + 1, 1.0}});
+    }
+  }  // builder destroyed, tasks possibly queued or running
+}  // pool destructor drains the remaining tasks
+
+void test_background_exception_surfaces_on_ingest() {
+  // A background merge failure must not vanish: it surfaces as the next
+  // ingest()'s exception, the failed-merge ladder stays serviceable for
+  // further appends, and the batch whose ingest delivered the error is
+  // NOT consumed.
+  struct Boom {};
+  struct ThrowingPlusTimes {
+    using value_type = double;
+    static constexpr std::string_view name() { return "+.* (throwing)"; }
+    double zero() const { return 0.0; }
+    double one() const { return 1.0; }
+    double add(double, double) const { throw Boom{}; }
+    double mul(double a, double b) const { return a * b; }
+  };
+  util::ThreadPool pool(2);
+  stream::AdjacencyBuilder<ThrowingPlusTimes> builder(
+      3, ThrowingPlusTimes{}, stream::Weighting::kUnweighted,
+      sparse::SpGemmAlgo::kAuto, &pool, stream::Compaction::kBackground);
+  // Two batches with the same edge: staging never folds (one product per
+  // entry), but the scheduled compaction folds (0,1) with (0,1) — Boom,
+  // captured in the background task.
+  builder.ingest(std::vector<graph::Edge>{{0, 1, 1.0}});
+  builder.ingest(std::vector<graph::Edge>{{0, 1, 1.0}});
+  builder.drain();
+  bool threw = false;
+  try {
+    builder.ingest(std::vector<graph::Edge>{{1, 2, 1.0}});
+  } catch (const Boom&) {
+    threw = true;
+  }
+  CHECK(threw);
+  CHECK_EQ(builder.stats().batches, 2u);  // the erroring ingest consumed nothing
+  CHECK_EQ(builder.stats().compactions, 0u);
+  // The error is delivered once: the same batch now ingests fine (and
+  // schedules another doomed merge — which again surfaces on the next
+  // call, pinning the repeat behavior).
+  builder.ingest(std::vector<graph::Edge>{{1, 2, 1.0}});
+  CHECK_EQ(builder.stats().batches, 3u);
+  builder.drain();
+  threw = false;
+  try {
+    builder.ingest(std::vector<graph::Edge>{{2, 0, 1.0}});
+  } catch (const Boom&) {
+    threw = true;
+  }
+  CHECK(threw);
+}
+
 }  // namespace
 
 int main() {
@@ -268,5 +414,9 @@ int main() {
   test_concurrent_callers();
   test_exception_under_contention();
   test_repeated_teardown();
+  test_submit_basics();
+  test_background_task_outlives_snapshot();
+  test_builder_destroyed_with_task_in_flight();
+  test_background_exception_surfaces_on_ingest();
   return TEST_MAIN_RESULT();
 }

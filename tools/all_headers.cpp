@@ -38,6 +38,8 @@
 #include "sparse/merge.hpp"
 #include "sparse/spgemm.hpp"
 #include "stream/adjacency_builder.hpp"
+#include "stream/pinned_snapshot.hpp"
+#include "stream/sharded_builder.hpp"
 #include "util/contract.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
