@@ -16,6 +16,16 @@
 ///      Counters report query latency percentiles (q_p50_ms / q_p99_ms,
 ///      measured per pin+traverse round on the reader threads) next to
 ///      writer throughput — the "queries while ingesting" deliverable.
+///
+///   3. `BM_ServeDegraded` — the same mix with a bounded
+///      `max_pending_merges` (DESIGN.md §10): over budget, the writer
+///      stalls until the compaction chain catches up (settling inline if
+///      it cannot), trading ingest throughput for a bounded run list.
+///      Two budget points: 1 (tolerates the in-flight merge — the bound
+///      rarely bites, pure bookkeeping overhead) and 0 (every pending
+///      merge stalls the writer — backpressure continuously active).
+///      backpressure_events counts how often the bound bit; compare
+///      items/s and q_p99_ms against BM_ServeMixed to read the price.
 
 #include "bench_common.hpp"
 
@@ -139,6 +149,72 @@ void BM_ServeMixed(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(shards);
 }
 BENCHMARK(BM_ServeMixed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// BM_ServeMixed under backpressure: background compaction with the
+/// merge debt bounded, so the writer stalls (and settles inline when the
+/// chain cannot catch up) whenever it runs ahead of the pool.
+/// Args = {shard count, max_pending_merges budget}.
+void BM_ServeDegraded(benchmark::State& state) {
+  const auto g = bench::rmat_graph(kScale, kEdgeFactor, 42);
+  const auto batches = split_batches(g.edges(), kBatches);
+  const algebra::PlusTimes<double> p;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto kMaxPendingMerges = static_cast<std::size_t>(state.range(1));
+  util::ThreadPool pool(4);
+  std::vector<double> latencies_ms;
+  std::uint64_t backpressure_events = 0;
+  for (auto _ : state) {
+    stream::ShardedBuilder<algebra::PlusTimes<double>> b(
+        g.num_vertices(), shards, p, stream::Weighting::kUnweighted,
+        sparse::SpGemmAlgo::kAuto, &pool, stream::Compaction::kBackground,
+        kMaxPendingMerges);
+    std::atomic<bool> done{false};
+    std::vector<std::vector<double>> per_reader(kQueryThreads);
+    std::vector<std::thread> readers;
+    readers.reserve(kQueryThreads);
+    for (std::size_t t = 0; t < kQueryThreads; ++t) {
+      readers.emplace_back([&, t] {
+        std::uint64_t src = 0x9e3779b9u + t;
+        do {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto snap = b.snapshot();
+          const auto levels = graph::bfs_levels(
+              snap, static_cast<index_t>(
+                        src % static_cast<std::uint64_t>(g.num_vertices())));
+          benchmark::DoNotOptimize(levels.size());
+          const auto t1 = std::chrono::steady_clock::now();
+          per_reader[t].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+          src = src * 6364136223846793005ULL + 1442695040888963407ULL;
+        } while (!done.load());
+      });
+    }
+    for (const auto& batch : batches) b.ingest(batch);
+    b.drain();
+    done.store(true);
+    for (auto& r : readers) r.join();
+    for (auto& v : per_reader) {
+      latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+    }
+    backpressure_events = b.stats().backpressure_events;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edges().size()));
+  state.counters["queries"] = static_cast<double>(latencies_ms.size());
+  state.counters["q_p50_ms"] = percentile_ms(latencies_ms, 0.50);
+  state.counters["q_p99_ms"] = percentile_ms(latencies_ms, 0.99);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["max_pending_merges"] =
+      static_cast<double>(kMaxPendingMerges);
+  state.counters["backpressure_events"] =
+      static_cast<double>(backpressure_events);
+}
+BENCHMARK(BM_ServeDegraded)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -28,6 +28,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/contract.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::graph {
@@ -51,6 +52,9 @@ IncidencePair<T> incidence_arrays_with(const Graph& g, Draw&& draw,
   const index_t m = g.num_edges();
   const index_t n = g.num_vertices();
   const auto& edges = g.edges();
+  // Injection site: the six incidence-array allocations below. A fire
+  // produces nothing — the caller's graph is untouched.
+  I2A_FAILPOINT("incidence.assemble.alloc");
   // row_ptr is the identity ramp: row e holds exactly entry e.
   std::vector<index_t> out_ptr(static_cast<std::size_t>(m) + 1);
   std::vector<index_t> in_ptr(static_cast<std::size_t>(m) + 1);

@@ -53,6 +53,7 @@
 #include "core/types.hpp"
 #include "sparse/csr.hpp"
 #include "util/contract.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::sparse {
@@ -144,6 +145,10 @@ Csr<T> merge_add_k(const std::vector<const Csr<T>*>& runs, const Add& add,
   const bool parallel = pool != nullptr && pool->size() > 1 && nrows > 0;
   const index_t nchunks =
       parallel ? pool->num_chunks(nrows) : (nrows > 0 ? 1 : 0);
+  // Injection site: the count pass's scratch/frontier allocations. A
+  // fire here leaves every input run untouched — the merge has produced
+  // nothing yet (DESIGN.md §10).
+  I2A_FAILPOINT("merge.count.scratch");
   std::vector<detail::MergeScratch<T>> scratch(
       static_cast<std::size_t>(nchunks));
 
@@ -174,6 +179,11 @@ Csr<T> merge_add_k(const std::vector<const Csr<T>*>& runs, const Add& add,
     row_ptr[static_cast<std::size_t>(r) + 1] +=
         row_ptr[static_cast<std::size_t>(r)];
   }
+  // Injection site: the scatter pass's output allocation — the largest
+  // single allocation a compaction makes, so the canonical place an
+  // out-of-memory failure lands mid-merge. A fire discards only the
+  // partially built output; the input runs stay live and pinned.
+  I2A_FAILPOINT("merge.scatter.alloc");
   std::vector<index_t> cols(static_cast<std::size_t>(row_ptr.back()));
   std::vector<T> vals(static_cast<std::size_t>(row_ptr.back()));
 

@@ -51,6 +51,7 @@
 #include "core/types.hpp"
 #include "sparse/csr.hpp"
 #include "util/contract.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::sparse {
@@ -530,6 +531,11 @@ Csr<typename P::value_type> spgemm_two_pass(
     const P& p, const AV& a, const Csr<typename P::value_type>& b,
     SpGemmAlgo algo, util::ThreadPool* pool) {
   using T = typename P::value_type;
+  // Injection site: the product's working-set allocations (every algo
+  // routes through here — chunk-slab included). A fire means the
+  // product produced nothing; both operands are untouched, so callers
+  // staging a batch delta lose only that staging attempt.
+  I2A_FAILPOINT("spgemm.numeric.alloc");
   if (algo == SpGemmAlgo::kGustavson || algo == SpGemmAlgo::kHeap) {
     return spgemm_chunk_slab(p, a, b, algo, pool);
   }

@@ -42,19 +42,53 @@
 ///     expensive delta build runs without the ladder lock; publishing
 ///     the delta is an O(log batches) append under the lock.
 ///   * Compaction — `Compaction::kInline` (default) merges synchronously
-///     inside `ingest`, preserving the PR 4 semantics (strict ladder
-///     bound after every ingest, merge exceptions thrown from the
-///     offending `ingest`, stats untouched on failure). In
-///     `Compaction::kBackground` mode, `ingest` only *schedules* the
-///     merge as a detached `ThreadPool::submit` task and returns; the
-///     task replaces the merged group under the lock when done and
-///     re-schedules itself while more suffixes qualify. Readers are
-///     never blocked by a merge in either mode: inline compaction works
-///     on a private copy of the run list and commits by pointer swap.
-///     A background merge failure (⊕ may throw; so may allocation) is
-///     captured and rethrown from the *next* `ingest()` call —
-///     `drain()` lets tests and shutdown paths wait for the ladder to
-///     settle first.
+///     inside `ingest`; `Compaction::kBackground` only *schedules* the
+///     merge as a detached `ThreadPool::submit` task: the task replaces
+///     the merged group under the lock when done and re-schedules itself
+///     while more suffixes qualify. Readers are never blocked by a merge
+///     in either mode: every merge works on private run handles and
+///     commits by pointer splice under the lock.
+///
+/// **Failure model (DESIGN.md §10; swept by tests/test_failpoints.cpp).**
+/// Every fallible step is classified, and each class has one documented
+/// delivery rule:
+///
+///   * *Strong guarantee on ingest.* Anything that throws out of
+///     `ingest()` — batch validation, delta staging (incidence assembly,
+///     SpGEMM), and in inline mode the compaction merges themselves —
+///     leaves the builder exactly as before the call: same runs, same
+///     stats, same epoch; snapshots never see a torn batch. Inline
+///     compaction earns this by settling a private copy of the run list
+///     and committing it with a single noexcept splice.
+///   * *Deferred errors from background compaction.* A background merge
+///     failure (⊕ may throw; so may allocation) cannot be thrown at the
+///     writer synchronously — the batch that scheduled it was already
+///     consumed. The failure is queued; the compaction chain parks. Each
+///     queued failure is delivered **exactly once**, at the next
+///     `drain()` or `ingest()` (whichever comes first; ingest rethrows
+///     before consuming its batch). `snapshot()` stays non-throwing — it
+///     *peeks* the oldest pending failure into
+///     `PinnedSnapshot::pending_error()` without consuming it, so
+///     readers can observe degraded freshness while the writer still
+///     gets its exactly-once delivery.
+///   * *Absorbed degradation.* A failed `ThreadPool::submit` of a
+///     compaction task (queue allocation) falls back to running the
+///     merge inline on the writer thread — counted in
+///     `Stats::backpressure_events`, never thrown: the batch is already
+///     published and scheduling is a quality-of-service concern, not a
+///     correctness one.
+///
+/// **Backpressure.** In background mode an unbounded writer can outrun
+/// the compactor, growing the run list (and every reader's per-row merge
+/// fan-in) without bound. `max_pending_merges` caps the debt: after each
+/// publish, if the number of merges the policy still owes exceeds the
+/// cap, `ingest` stalls: it waits out the in-flight task (whose splice
+/// usually replans the chain and clears the debt) and, if still over
+/// budget, claims the compaction token and settles the ladder inline
+/// before returning — the writer pays the merge cost the background
+/// lane deferred. Each such stall increments
+/// `Stats::backpressure_events`; `Stats::pending_merges` is the live
+/// debt. The default is unbounded (PR 7 behavior).
 ///
 /// Canonical-CSR postconditions (`I2A_ENSURES`) hold for every run the
 /// ladder ever exposes, whether an inline merge, a background-task
@@ -62,6 +96,7 @@
 /// `I2A_CHECK_INVARIANTS` CI legs execute the background path too.
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -81,6 +116,7 @@
 #include "sparse/spgemm.hpp"
 #include "stream/pinned_snapshot.hpp"
 #include "util/contract.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::stream {
@@ -105,6 +141,10 @@ enum class Compaction {
   kBackground,  ///< schedule merges as detached ThreadPool tasks
 };
 
+/// `max_pending_merges` value meaning "no backpressure" (the default).
+inline constexpr std::size_t kUnboundedPendingMerges =
+    static_cast<std::size_t>(-1);
+
 /// Maintains A over a batched edge stream for one operator pair.
 /// Writer calls (`ingest`) must be externally serialized; `snapshot`,
 /// `adjacency`, `stats`, `num_levels` and `drain` are safe from any
@@ -125,15 +165,28 @@ class AdjacencyBuilder {
     std::uint64_t compactions = 0;      ///< ladder k-way merges run
     std::uint64_t delta_entries = 0;    ///< nnz across per-batch deltas
     std::uint64_t merged_entries = 0;   ///< nnz written by compactions
+    std::uint64_t pending_merges = 0;   ///< merges the policy still owes
+                                        ///< (computed at stats() time)
+    std::uint64_t backpressure_events = 0;  ///< over-budget writer stalls
+                                            ///< + submit-failure fallbacks
+    std::uint64_t failpoints_hit = 0;   ///< process-wide failpoint fires
+                                        ///< (always 0 in production
+                                        ///< builds; see util/failpoint.hpp)
   };
 
+  /// `max_pending_merges` bounds the background-compaction debt (see the
+  /// file comment's backpressure section); ignored in inline mode, where
+  /// the ladder settles every ingest anyway.
   explicit AdjacencyBuilder(index_t num_vertices, P p = P{},
                             Weighting weighting = Weighting::kUnweighted,
                             sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
                             util::ThreadPool* pool = nullptr,
-                            Compaction compaction = Compaction::kInline)
+                            Compaction compaction = Compaction::kInline,
+                            std::size_t max_pending_merges =
+                                kUnboundedPendingMerges)
       : n_(num_vertices), p_(p), weighting_(weighting), algo_(algo),
         pool_(pool), compaction_(compaction),
+        max_pending_merges_(max_pending_merges),
         ladder_(std::make_shared<Ladder>()) {
     if (num_vertices < 0) {
       throw std::invalid_argument("AdjacencyBuilder: negative vertex count");
@@ -155,14 +208,19 @@ class AdjacencyBuilder {
   /// Destruction is safe while a background compaction is still in
   /// flight: the task owns the ladder via shared_ptr and the pool drains
   /// queued tasks before its own teardown. (The pool must simply outlive
-  /// every call into this builder, as for all pool users.)
+  /// every call into this builder, as for all pool users.) A still-queued
+  /// failure that nothing ever drains dies with the ladder — deliberate:
+  /// the owner chose not to look.
   ~AdjacencyBuilder() = default;
 
   index_t num_vertices() const { return n_; }
 
   Stats stats() const {
     std::lock_guard<std::mutex> lock(ladder_->mu);
-    return ladder_->stats;
+    Stats s = ladder_->stats;
+    s.pending_merges = static_cast<std::uint64_t>(pending_merges_locked());
+    s.failpoints_hit = util::failpoints_fired_total();
+    return s;
   }
 
   /// Live ladder runs. ≤ log₂(batches) + 1 whenever the ladder is
@@ -174,11 +232,14 @@ class AdjacencyBuilder {
     return static_cast<index_t>(ladder_->runs.size());
   }
 
-  /// Ingest one batch: validate, rethrow any pending background-merge
-  /// failure, build the batch's delta CSR (sort-free incidence + SpGEMM,
-  /// no ladder lock held), and publish it onto the run list.
-  /// Out-of-range endpoints reject the whole batch before any state
-  /// changes.
+  /// Ingest one batch: rethrow any pending background-merge failure
+  /// (before touching the batch), validate, build the batch's delta CSR
+  /// (sort-free incidence + SpGEMM, no ladder lock held), publish it
+  /// onto the run list, and apply backpressure if configured.
+  ///
+  /// Strong guarantee: if this throws — validation, a pending deferred
+  /// error, staging, or an inline-mode merge — the batch was not
+  /// consumed and the builder (runs, stats, epoch) is unchanged.
   void ingest(std::span<const graph::Edge> batch) {
     rethrow_pending_error();
     for (const graph::Edge& e : batch) {
@@ -187,7 +248,9 @@ class AdjacencyBuilder {
                                 "out of range");
       }
     }
-    publish(stage(batch), batch.size());
+    Prepared prep = prepare_publish(stage(batch), batch.size());
+    commit_publish(std::move(prep));
+    maybe_backpressure();
   }
 
   /// Edge-list convenience overload.
@@ -197,17 +260,21 @@ class AdjacencyBuilder {
 
   /// Pin the live run-set: O(log batches) shared_ptr copies under the
   /// ladder lock, then the returned snapshot is traversed with no
-  /// further synchronization. See stream/pinned_snapshot.hpp.
+  /// further synchronization. Never throws past allocation: a pending
+  /// background failure is *peeked* (not consumed) into the snapshot's
+  /// `pending_error()`. See stream/pinned_snapshot.hpp.
   PinnedSnapshot<P> snapshot() const {
     std::vector<std::shared_ptr<const sparse::Csr<value_type>>> pins;
     std::uint64_t epoch;
+    std::exception_ptr pending;
     {
       std::lock_guard<std::mutex> lock(ladder_->mu);
       pins.reserve(ladder_->runs.size());
       for (const auto& run : ladder_->runs) pins.push_back(run.csr);
       epoch = ladder_->stats.batches;
+      pending = ladder_->errors.empty() ? nullptr : ladder_->errors.front();
     }
-    return PinnedSnapshot<P>(n_, p_, epoch, std::move(pins));
+    return PinnedSnapshot<P>(n_, p_, epoch, std::move(pins), pending);
   }
 
   /// Materialized snapshot of the maintained adjacency array: one k-way
@@ -219,11 +286,17 @@ class AdjacencyBuilder {
   }
 
   /// Block until no background compaction is in flight and no further
-  /// one is scheduled (no-op in inline mode). A merge failure ends the
-  /// chain too — it then surfaces on the next `ingest()`.
+  /// one is scheduled (no-op in inline mode), then rethrow the oldest
+  /// still-undelivered background-merge failure, if any — each queued
+  /// failure is delivered exactly once across `drain()` and `ingest()`.
   void drain() const {
-    std::unique_lock<std::mutex> lock(ladder_->mu);
-    ladder_->cv.wait(lock, [this] { return !ladder_->compacting; });
+    std::exception_ptr err;
+    {
+      std::unique_lock<std::mutex> lock(ladder_->mu);
+      ladder_->cv.wait(lock, [this] { return !ladder_->compacting; });
+      err = pop_error_locked();
+    }
+    if (err) std::rethrow_exception(err);
   }
 
  private:
@@ -245,23 +318,42 @@ class AdjacencyBuilder {
     std::condition_variable cv;   ///< signaled when a compaction settles
     std::vector<Run> runs;        ///< oldest first, consecutive intervals
     Stats stats;
-    bool compacting = false;      ///< a background merge is in flight
-    std::exception_ptr error;     ///< failed background merge, if any
+    bool compacting = false;      ///< a compaction holds the token
+    /// Failed background merges, oldest first; each entry is delivered
+    /// exactly once (drain / ingest pop, snapshot peeks).
+    std::vector<std::exception_ptr> errors;
   };
 
-  auto add_fn() const {
-    return [p = p_](const value_type& x, const value_type& y) {
-      return p.add(x, y);
-    };
-  }
+  /// The staged-but-uncommitted half of a publish. `prepare_publish` does
+  /// everything that can throw; `commit_publish` consumes the result with
+  /// no fallible step before the batch counts as ingested — which is what
+  /// lets `ShardedBuilder` prepare every shard first and then commit them
+  /// all under one lock without risking a torn cross-shard epoch.
+  struct Prepared {
+    bool inline_mode = false;
+    std::vector<Run> runs;  ///< inline mode: the fully settled new list
+    std::uint64_t compactions = 0;
+    std::uint64_t merged_entries = 0;
+    /// Background mode: the delta to append (capacity already reserved).
+    std::shared_ptr<const sparse::Csr<value_type>> delta;
+    std::uint64_t delta_nnz = 0;
+    std::size_t batch_edges = 0;
+  };
 
   void rethrow_pending_error() {
     std::exception_ptr err;
     {
       std::lock_guard<std::mutex> lock(ladder_->mu);
-      err = std::exchange(ladder_->error, nullptr);
+      err = pop_error_locked();
     }
     if (err) std::rethrow_exception(err);
+  }
+
+  std::exception_ptr pop_error_locked() const {
+    if (ladder_->errors.empty()) return nullptr;
+    std::exception_ptr err = ladder_->errors.front();
+    ladder_->errors.erase(ladder_->errors.begin());
+    return err;
   }
 
   /// Build a batch's delta adjacency — no ladder state is touched, so
@@ -271,6 +363,10 @@ class AdjacencyBuilder {
   std::shared_ptr<const sparse::Csr<value_type>> stage(
       std::span<const graph::Edge> batch) const {
     if (batch.empty()) return nullptr;
+    // Injection site: the whole staging pipeline for a non-empty batch.
+    // A fire here (or in the incidence/SpGEMM sites downstream) leaves
+    // the ladder untouched — ingest's strong guarantee.
+    I2A_FAILPOINT("builder.stage.batch");
     graph::Graph g(n_);
     g.edges().assign(batch.begin(), batch.end());
     const auto inc = weighting_ == Weighting::kWeighted
@@ -282,77 +378,204 @@ class AdjacencyBuilder {
     return std::make_shared<const sparse::Csr<value_type>>(std::move(delta));
   }
 
-  /// Publish a staged delta: append it to the run list and compact per
-  /// the configured mode. Inline mode commits runs + stats atomically
-  /// only after every merge succeeded (a throwing ⊕ leaves the builder
-  /// exactly as before the batch); background mode appends, bumps stats,
-  /// and schedules the merge task.
-  void publish(std::shared_ptr<const sparse::Csr<value_type>> delta,
-               std::size_t batch_edges) {
-    const auto delta_nnz = static_cast<std::uint64_t>(
-        delta ? delta->nnz() : 0);
+  /// Phase 1 of a publish: everything fallible. Inline mode settles the
+  /// whole ladder on a private copy of the run list (cheap shared_ptr
+  /// copies — concurrent readers keep pinning the old list mid-merge,
+  /// and a throwing ⊕ leaves runs and stats untouched). Background mode
+  /// only reserves the capacity `commit_publish` will need, so the
+  /// commit's push_back cannot throw.
+  Prepared prepare_publish(
+      std::shared_ptr<const sparse::Csr<value_type>> delta,
+      std::size_t batch_edges) {
+    Prepared prep;
+    prep.batch_edges = batch_edges;
+    prep.delta_nnz = static_cast<std::uint64_t>(delta ? delta->nnz() : 0);
     if (compaction_ == Compaction::kInline) {
-      publish_inline(std::move(delta), batch_edges, delta_nnz);
+      prep.inline_mode = true;
+      {
+        std::lock_guard<std::mutex> lock(ladder_->mu);
+        prep.runs = ladder_->runs;
+      }
+      if (delta) prep.runs.push_back(Run{std::move(delta), 1});
+      settle_runs(prep.runs, prep.compactions, prep.merged_entries);
+    } else {
+      prep.delta = std::move(delta);
+      std::lock_guard<std::mutex> lock(ladder_->mu);
+      ladder_->runs.reserve(ladder_->runs.size() + 1);
+      // One spare error slot, so a background task's failure report
+      // cannot itself die on allocation in the common case.
+      ladder_->errors.reserve(ladder_->errors.size() + 1);
+    }
+    return prep;
+  }
+
+  /// Phase 2 of a publish: consume a `Prepared` with no fallible step
+  /// before the batch is committed. Inline mode is a splice + stat bumps
+  /// under the lock. Background mode appends the delta (capacity
+  /// reserved), bumps stats, then *tries* to schedule the compaction
+  /// task — a failed plan parks the chain (replanned on the next
+  /// publish) and a failed submit runs the task inline on this thread
+  /// (an absorbed degradation, counted in `backpressure_events`); in no
+  /// case does a scheduling failure un-ingest the batch.
+  void commit_publish(Prepared&& prep) noexcept {
+    if (prep.inline_mode) {
+      std::lock_guard<std::mutex> lock(ladder_->mu);
+      ladder_->runs = std::move(prep.runs);
+      ++ladder_->stats.batches;
+      ladder_->stats.edges += prep.batch_edges;
+      ladder_->stats.delta_entries += prep.delta_nnz;
+      ladder_->stats.compactions += prep.compactions;
+      ladder_->stats.merged_entries += prep.merged_entries;
       return;
     }
     std::function<void()> task;
     {
       std::lock_guard<std::mutex> lock(ladder_->mu);
-      if (delta) ladder_->runs.push_back(Run{std::move(delta), 1});
+      if (prep.delta) {
+        ladder_->runs.push_back(Run{std::move(prep.delta), 1});
+      }
       ++ladder_->stats.batches;
-      ladder_->stats.edges += batch_edges;
-      ladder_->stats.delta_entries += delta_nnz;
-      task = plan_task_locked(ladder_, pool_, p_);
+      ladder_->stats.edges += prep.batch_edges;
+      ladder_->stats.delta_entries += prep.delta_nnz;
+      try {
+        task = plan_task_locked(ladder_, pool_, p_);
+      } catch (...) {
+        // Planning allocates (group copy, std::function). On failure the
+        // token was never taken; the chain parks until the next publish
+        // replans. The batch itself is already committed.
+      }
     }
-    // Submitted outside the lock: on a workerless pool the task runs
-    // inline, and it must be able to take the ladder lock itself.
-    if (task) pool_->submit(std::move(task));
+    if (!task) return;
+    bool fallback = false;
+    try {
+      // Injection site: handing the compaction task to the pool. A fire
+      // (or a real queue-allocation failure) must not lose the merge:
+      // it runs inline below instead.
+      I2A_FAILPOINT("builder.background.submit");
+      auto backup = task;  // submit may consume its argument even on throw
+      pool_->submit(std::move(backup));
+    } catch (...) {
+      fallback = true;
+    }
+    if (fallback) {
+      {
+        std::lock_guard<std::mutex> lock(ladder_->mu);
+        ++ladder_->stats.backpressure_events;
+      }
+      try {
+        task();  // the task body handles its own failures (error queue)
+      } catch (...) {
+        // Only reachable if the task's own failure *reporting* failed on
+        // allocation (prepare reserves a slot to prevent exactly this);
+        // there is no channel left, and commit_publish is noexcept.
+      }
+    }
   }
 
-  void publish_inline(std::shared_ptr<const sparse::Csr<value_type>> delta,
-                      std::size_t batch_edges, std::uint64_t delta_nnz) {
-    // Work on a private copy of the run list (cheap shared_ptr copies):
-    // concurrent readers keep pinning the old list mid-merge, and a
-    // throwing ⊕ must leave runs and stats untouched.
-    std::vector<Run> runs;
-    {
-      std::lock_guard<std::mutex> lock(ladder_->mu);
-      runs = ladder_->runs;
-    }
-    if (delta) runs.push_back(Run{std::move(delta), 1});
+  /// Post-publish backpressure (background mode with a bounded
+  /// `max_pending_merges` only): if the compaction debt exceeds the cap,
+  /// the writer stalls — every such stall is a `backpressure_events`
+  /// tick, the observable "the bound bit" signal. Usually waiting out
+  /// the in-flight task is enough (the chain replans as it splices); if
+  /// the debt is still over budget after the wait (parked chain,
+  /// cascade), claim the compaction token and settle the ladder on this
+  /// thread. A merge failure here is recorded in the deferred-error
+  /// queue (the batch is already consumed, so the strong-guarantee
+  /// channel is closed); the old run list stays.
+  void maybe_backpressure() {
+    if (compaction_ != Compaction::kBackground) return;
+    if (max_pending_merges_ == kUnboundedPendingMerges) return;
+    std::unique_lock<std::mutex> lock(ladder_->mu);
+    if (pending_merges_locked() <= max_pending_merges_) return;
+    ++ladder_->stats.backpressure_events;
+    ladder_->cv.wait(lock, [this] { return !ladder_->compacting; });
+    if (pending_merges_locked() <= max_pending_merges_) return;
+    ladder_->compacting = true;
+    std::vector<Run> runs = ladder_->runs;
+    lock.unlock();
     std::uint64_t compactions = 0;
     std::uint64_t merged_entries = 0;
-    for (auto [lo, hi] = compaction_plan(runs); hi > lo;
-         std::tie(lo, hi) = compaction_plan(runs)) {
+    try {
+      settle_runs(runs, compactions, merged_entries);
+      lock.lock();
+      ladder_->runs = std::move(runs);
+      ladder_->stats.compactions += compactions;
+      ladder_->stats.merged_entries += merged_entries;
+    } catch (...) {
+      lock.lock();
+      // Partial settle progress is discarded (private copy); the failure
+      // is delivered exactly once via drain()/the next ingest().
+      ladder_->errors.push_back(std::current_exception());
+    }
+    ladder_->compacting = false;
+    lock.unlock();
+    ladder_->cv.notify_all();
+  }
+
+  /// How many merges the compaction policy still owes on the current run
+  /// list — simulated on the weights alone (no data touched). Caller
+  /// holds the ladder lock.
+  std::size_t pending_merges_locked() const {
+    std::vector<std::uint64_t> w;
+    w.reserve(ladder_->runs.size());
+    for (const Run& r : ladder_->runs) w.push_back(r.weight);
+    std::size_t merges = 0;
+    for (auto [lo, hi] = plan_suffix(w); hi > lo;
+         std::tie(lo, hi) = plan_suffix(w)) {
+      std::uint64_t sum = 0;
+      for (std::size_t i = lo; i < hi; ++i) sum += w[i];
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+              w.begin() + static_cast<std::ptrdiff_t>(hi));
+      w[lo] = sum;
+      ++merges;
+    }
+    return merges;
+  }
+
+  auto add_fn() const {
+    return [p = p_](const value_type& x, const value_type& y) {
+      return p.add(x, y);
+    };
+  }
+
+  /// Run the compaction policy to a fixed point on a private run list,
+  /// accumulating stat deltas. Throws on merge failure (callers decide
+  /// the delivery channel); the list is then mid-settle but private.
+  void settle_runs(std::vector<Run>& runs, std::uint64_t& compactions,
+                   std::uint64_t& merged_entries) const {
+    for (auto [lo, hi] = plan_suffix(runs); hi > lo;
+         std::tie(lo, hi) = plan_suffix(runs)) {
       Run merged = merge_group(runs, lo, hi, p_, pool_);
+      // Injection site: between a finished merge and its splice — the
+      // point where a failure has already paid the merge cost but must
+      // still not corrupt the published list.
+      I2A_FAILPOINT("builder.ladder.splice");
       merged_entries += static_cast<std::uint64_t>(merged.csr->nnz());
       ++compactions;
       runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
                  runs.begin() + static_cast<std::ptrdiff_t>(hi));
       runs[lo] = std::move(merged);
     }
-    std::lock_guard<std::mutex> lock(ladder_->mu);
-    ladder_->runs = std::move(runs);
-    ++ladder_->stats.batches;
-    ladder_->stats.edges += batch_edges;
-    ladder_->stats.delta_entries += delta_nnz;
-    ladder_->stats.compactions += compactions;
-    ladder_->stats.merged_entries += merged_entries;
   }
+
+  static std::uint64_t weight_of(const Run& r) { return r.weight; }
+  static std::uint64_t weight_of(std::uint64_t w) { return w; }
 
   /// The compaction policy: merge the maximal *balanced* suffix — the
   /// longest tail in which every run's weight is ≤ the combined weight
   /// of the runs after it. Returns [lo, hi) over `runs`, empty (hi ==
   /// lo) when nothing qualifies. Settled lists are super-increasing ⇒
   /// ≤ log₂(total weight) + 1 runs, and each entry is remerged O(log)
-  /// times — the logarithmic method, async-friendly.
-  static std::pair<std::size_t, std::size_t> compaction_plan(
-      const std::vector<Run>& runs) {
+  /// times — the logarithmic method, async-friendly. Works on the run
+  /// list or on a bare weight list (the pending-merges simulation).
+  template <typename RunsVec>
+  static std::pair<std::size_t, std::size_t> plan_suffix(
+      const RunsVec& runs) {
     if (runs.size() < 2) return {0, 0};
     std::size_t lo = runs.size() - 1;
-    std::uint64_t tail = runs[lo].weight;
-    while (lo > 0 && runs[lo - 1].weight <= tail) {
-      tail += runs[lo - 1].weight;
+    std::uint64_t tail = weight_of(runs[lo]);
+    while (lo > 0 && weight_of(runs[lo - 1]) <= tail) {
+      tail += weight_of(runs[lo - 1]);
       --lo;
     }
     if (runs.size() - lo < 2) return {0, 0};
@@ -391,20 +614,26 @@ class AdjacencyBuilder {
   /// builder), captures the group's run handles by value (the runs are
   /// immutable; list indices stay valid because the writer only appends
   /// and only this task replaces), and re-plans on completion so carry
-  /// chains keep compacting without writer involvement.
+  /// chains keep compacting without writer involvement. All allocation
+  /// happens *before* the token is taken, so a throw from here leaves
+  /// the ladder unclaimed.
   static std::function<void()> plan_task_locked(std::shared_ptr<Ladder> lad,
                                                 util::ThreadPool* pool, P p) {
     if (lad->compacting) return nullptr;
-    const auto [lo, hi] = compaction_plan(lad->runs);
+    const auto [lo, hi] = plan_suffix(lad->runs);
     if (hi <= lo) return nullptr;
-    lad->compacting = true;
+    Ladder* raw = lad.get();
     std::vector<Run> group(lad->runs.begin() + static_cast<std::ptrdiff_t>(lo),
                            lad->runs.begin() + static_cast<std::ptrdiff_t>(hi));
-    return [lad = std::move(lad), pool, p = std::move(p),
-            group = std::move(group), lo, hi]() mutable {
+    std::function<void()> task =
+        [lad = std::move(lad), pool, p = std::move(p),
+         group = std::move(group), lo, hi]() mutable {
       std::function<void()> next;
       try {
         Run merged = merge_group(group, 0, group.size(), p, nullptr);
+        // Injection site: the background twin of the inline splice site —
+        // the merge succeeded, the commit under the lock has not happened.
+        I2A_FAILPOINT("builder.ladder.splice");
         std::lock_guard<std::mutex> lock(lad->mu);
         lad->runs.erase(
             lad->runs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
@@ -414,16 +643,39 @@ class AdjacencyBuilder {
         lad->stats.merged_entries +=
             static_cast<std::uint64_t>(lad->runs[lo].csr->nnz());
         lad->compacting = false;
-        next = plan_task_locked(lad, pool, p);
+        try {
+          next = plan_task_locked(lad, pool, p);
+        } catch (...) {
+          // Replanning failed to allocate: the chain parks (token free),
+          // the next publish replans. Nothing to report — no work lost.
+        }
         lad->cv.notify_all();
       } catch (...) {
         std::lock_guard<std::mutex> lock(lad->mu);
-        lad->error = std::current_exception();
+        // The chain parks; the failure is delivered exactly once via
+        // drain()/the next ingest(). (This push_back is the one spot
+        // where reporting can itself fail on allocation — prepare
+        // reserves a spare slot to keep that a corner of a corner; an
+        // escape here lands in the pool's submit-error slot, never
+        // std::terminate.)
+        lad->errors.push_back(std::current_exception());
         lad->compacting = false;
         lad->cv.notify_all();
       }
-      if (next) pool->submit(std::move(next));
+      if (next) {
+        try {
+          pool->submit(std::move(next));
+        } catch (...) {
+          // Re-chain submit failed: release the token the replan took
+          // and park — the next publish replans the same suffix.
+          std::lock_guard<std::mutex> lock(lad->mu);
+          lad->compacting = false;
+          lad->cv.notify_all();
+        }
+      }
     };
+    raw->compacting = true;  // only after every fallible step above
+    return task;
   }
 
   index_t n_;
@@ -432,6 +684,7 @@ class AdjacencyBuilder {
   sparse::SpGemmAlgo algo_;
   util::ThreadPool* pool_;
   Compaction compaction_;
+  std::size_t max_pending_merges_;
   std::shared_ptr<Ladder> ladder_;
 };
 

@@ -34,6 +34,7 @@
 /// associative — the `Semiring` contract the builder already requires).
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -58,12 +59,15 @@ class PinnedSnapshot {
   /// Pins `runs` (oldest first; all shape n × n). Built by
   /// `AdjacencyBuilder::snapshot()` / `ShardedBuilder::snapshot()`;
   /// public so tests and custom serving layers can assemble run-sets of
-  /// their own.
+  /// their own. `pending_error` is the builder's oldest undelivered
+  /// background-compaction failure at pin time, if any (see
+  /// `pending_error()`).
   PinnedSnapshot(index_t num_vertices, P p, std::uint64_t batches,
                  std::vector<std::shared_ptr<const sparse::Csr<value_type>>>
-                     runs)
+                     runs,
+                 std::exception_ptr pending_error = nullptr)
       : n_(num_vertices), p_(std::move(p)), batches_(batches),
-        owners_(std::move(runs)) {
+        owners_(std::move(runs)), pending_error_(std::move(pending_error)) {
     ptrs_.reserve(owners_.size());
     for (const auto& r : owners_) ptrs_.push_back(r.get());
   }
@@ -76,6 +80,16 @@ class PinnedSnapshot {
   std::size_t num_runs() const { return owners_.size(); }
   bool empty() const { return owners_.empty(); }
   const P& pair() const { return p_; }
+
+  /// Observability for degraded snapshots: the oldest background-merge
+  /// failure the builder had not yet delivered when this snapshot was
+  /// pinned, or nullptr. A *peek*, not a consume — the writer still
+  /// receives the failure exactly once through `drain()`/`ingest()`; the
+  /// snapshot itself is always valid and readable (its runs cover the
+  /// full ingested prefix; only compaction — freshness of the run
+  /// *layout*, not of the data — is behind). Readers that care can
+  /// `std::rethrow_exception` it or merely flag degraded service.
+  const std::exception_ptr& pending_error() const { return pending_error_; }
 
   /// The pinned run handles, oldest first — what `ShardedBuilder`
   /// concatenates across shards.
@@ -134,6 +148,7 @@ class PinnedSnapshot {
   /// retirement until this snapshot drops.
   std::vector<std::shared_ptr<const sparse::Csr<value_type>>> owners_;
   std::vector<const sparse::Csr<value_type>*> ptrs_;  ///< parallel to owners_
+  std::exception_ptr pending_error_;  ///< peeked builder failure, if any
 };
 
 }  // namespace i2a::stream

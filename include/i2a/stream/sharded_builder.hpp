@@ -31,12 +31,18 @@
 /// modulus can systematically starve shards. The finalizer decorrelates
 /// shard choice from id structure at ~1 ns cost (DESIGN.md §9).
 ///
-/// Exception note: with a throwing ⊕ an inline-mode sharded publish is
-/// *not* atomic across shards — a mid-loop failure leaves earlier
-/// shards one batch ahead (each shard atomic per the single-builder
-/// guarantee, the fuse torn). Sharded serving assumes a non-throwing ⊕,
-/// as every real algebra here is; single-builder mode keeps the strong
-/// guarantee for throwing pairs.
+/// Exception safety: sharded ingest is **two-phase** and carries the
+/// same strong guarantee as the single builder (swept by
+/// tests/test_failpoints.cpp). Phase 1 *prepares* every shard — staging,
+/// and in inline mode the compaction merges, all on private state; any
+/// failure (a throwing ⊕, allocation, an armed failpoint) unwinds with
+/// no shard touched. Phase 2 *commits* every shard under the
+/// coordination mutex with `commit_publish`, which has no fallible step
+/// before the batch counts — so shard epochs can never tear: either all
+/// shards advance or none does. Background-merge failures follow the
+/// single-builder deferred-error rules, surfacing from `drain()` / the
+/// next `ingest()` (exactly once per failure) and peeking into
+/// `snapshot().pending_error()`.
 
 #include <cstdint>
 #include <memory>
@@ -67,18 +73,22 @@ class ShardedBuilder {
   using value_type = typename P::value_type;
   using Stats = typename AdjacencyBuilder<P>::Stats;
 
+  /// `max_pending_merges` is forwarded to every shard: each shard's
+  /// compaction debt is bounded independently (debt is per-ladder).
   ShardedBuilder(index_t num_vertices, std::size_t num_shards, P p = P{},
                  Weighting weighting = Weighting::kUnweighted,
                  sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto,
                  util::ThreadPool* pool = nullptr,
-                 Compaction compaction = Compaction::kInline)
+                 Compaction compaction = Compaction::kInline,
+                 std::size_t max_pending_merges = kUnboundedPendingMerges)
       : n_(num_vertices), p_(p) {
     if (num_shards == 0) {
       throw std::invalid_argument("ShardedBuilder: zero shards");
     }
     shards_.reserve(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s) {
-      shards_.emplace_back(num_vertices, p, weighting, algo, pool, compaction);
+      shards_.emplace_back(num_vertices, p, weighting, algo, pool, compaction,
+                           max_pending_merges);
     }
   }
 
@@ -93,11 +103,15 @@ class ShardedBuilder {
     return shard_index(src, shards_.size());
   }
 
-  /// Route the batch's edges to their shards, stage every shard's delta
-  /// (no locks), then publish to all shards under the coordination
-  /// mutex so concurrent snapshots never observe a half-applied batch.
-  /// Every shard ingests every batch — shards a batch sends no edges to
+  /// Route the batch's edges to their shards, stage and *prepare* every
+  /// shard's publish (no coordination lock; any failure unwinds with no
+  /// shard touched), then *commit* all shards under the coordination
+  /// mutex — a loop of noexcept steps, so concurrent snapshots never
+  /// observe a half-applied batch and shard epochs cannot tear. Every
+  /// shard ingests every batch — shards a batch sends no edges to
   /// publish an empty delta — keeping all shard epochs in lockstep.
+  /// Backpressure (if configured) runs last, per shard, outside the
+  /// coordination mutex.
   void ingest(std::span<const graph::Edge> batch) {
     for (auto& shard : shards_) shard.rethrow_pending_error();
     for (const graph::Edge& e : batch) {
@@ -111,16 +125,25 @@ class ShardedBuilder {
     for (const graph::Edge& e : batch) {
       routed[shard_index(e.src, k)].push_back(e);
     }
-    using Delta = std::shared_ptr<const sparse::Csr<value_type>>;
-    std::vector<Delta> deltas(k);
+    // Phase 1: stage + prepare, all fallible work. Nothing is consumed
+    // until every shard has a Prepared in hand.
+    std::vector<typename AdjacencyBuilder<P>::Prepared> preps;
+    preps.reserve(k);
     for (std::size_t s = 0; s < k; ++s) {
-      deltas[s] = shards_[s].stage(std::span<const graph::Edge>(
+      auto delta = shards_[s].stage(std::span<const graph::Edge>(
           routed[s].data(), routed[s].size()));
+      preps.push_back(
+          shards_[s].prepare_publish(std::move(delta), routed[s].size()));
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t s = 0; s < k; ++s) {
-      shards_[s].publish(std::move(deltas[s]), routed[s].size());
+    // Phase 2: commit every shard — noexcept per shard — atomically with
+    // respect to fused snapshots.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t s = 0; s < k; ++s) {
+        shards_[s].commit_publish(std::move(preps[s]));
+      }
     }
+    for (auto& shard : shards_) shard.maybe_backpressure();
   }
 
   /// Edge-list convenience overload.
@@ -136,16 +159,18 @@ class ShardedBuilder {
   PinnedSnapshot<P> snapshot() const {
     std::vector<std::shared_ptr<const sparse::Csr<value_type>>> fused;
     std::uint64_t epoch = 0;
+    std::exception_ptr pending;
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (std::size_t s = 0; s < shards_.size(); ++s) {
         PinnedSnapshot<P> pin = shards_[s].snapshot();
         if (s == 0) epoch = pin.batches();
+        if (!pending && pin.pending_error()) pending = pin.pending_error();
         const auto& handles = pin.run_handles();
         fused.insert(fused.end(), handles.begin(), handles.end());
       }
     }
-    return PinnedSnapshot<P>(n_, p_, epoch, std::move(fused));
+    return PinnedSnapshot<P>(n_, p_, epoch, std::move(fused), pending);
   }
 
   /// Materialized fused adjacency (query-side fan-in: one k-way merge
@@ -155,7 +180,9 @@ class ShardedBuilder {
   }
 
   /// Aggregate maintenance stats: batches is the shard-lockstep epoch;
-  /// the cost counters sum across shards.
+  /// the cost counters (including pending_merges and
+  /// backpressure_events) sum across shards; failpoints_hit is the
+  /// process-wide fire count (identical in every shard).
   Stats stats() const {
     Stats total;
     bool first = true;
@@ -169,13 +196,29 @@ class ShardedBuilder {
       total.compactions += s.compactions;
       total.delta_entries += s.delta_entries;
       total.merged_entries += s.merged_entries;
+      total.pending_merges += s.pending_merges;
+      total.backpressure_events += s.backpressure_events;
+      total.failpoints_hit = s.failpoints_hit;
     }
     return total;
   }
 
-  /// Wait for every shard's background compaction chain to settle.
+  /// Wait for every shard's background compaction chain to settle, then
+  /// rethrow the first pending failure encountered (shard order). Every
+  /// shard is drained even when an early shard throws; each shard
+  /// reports at most one failure per drain call, so repeated drains (or
+  /// subsequent ingests) deliver any remaining queued failures —
+  /// exactly once each.
   void drain() const {
-    for (const auto& shard : shards_) shard.drain();
+    std::exception_ptr first;
+    for (const auto& shard : shards_) {
+      try {
+        shard.drain();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
   }
 
  private:

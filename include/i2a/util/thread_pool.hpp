@@ -18,17 +18,22 @@
 /// compaction tasks): a fire-and-forget callable that runs on a worker
 /// as soon as one is free, with the same FIFO queue the fork/join chunks
 /// use. Queued submissions are drained — not dropped — by the
-/// destructor, so a submitted task always runs exactly once.
+/// destructor, so a submitted task always runs exactly once. An
+/// exception escaping a submitted task has no caller join to deliver it
+/// to, so it routes through the pool's *submit error handler*: by
+/// default the first escaped exception is captured into a slot the
+/// owner polls with `take_submit_error()`; `set_submit_error_handler`
+/// replaces that with a caller-supplied sink (log-and-count, rethrow
+/// into a supervisor, …).
 
 #include <condition_variable>
-#include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -177,18 +182,18 @@ class ThreadPool {
   /// back into this pool with `parallel_for` runs that region serially,
   /// by the identical FIFO-starvation argument as nested chunks (its
   /// sub-chunks could sit queued behind tasks whose workers are blocked
-  /// waiting on them). The callable must not let exceptions escape —
-  /// there is no caller join to deliver them to, so an escape aborts
-  /// loudly instead of feeding std::terminate a mystery.
+  /// waiting on them). An exception escaping the callable is delivered
+  /// to the submit error handler (never dropped, never std::terminate):
+  /// the default handler stores the first one for `take_submit_error`.
+  /// `submit` itself may throw (queue allocation) — the task then never
+  /// ran, and the caller still owns the work.
   void submit(std::function<void()> task) {
-    auto guarded = [t = std::move(task)] {
+    auto guarded = [this, t = std::move(task)] {
       ChunkGuard guard;
       try {
         t();
       } catch (...) {
-        std::fprintf(stderr,
-                     "i2a: exception escaped a ThreadPool::submit task\n");
-        std::abort();
+        note_submit_error(std::current_exception());
       }
     };
     if (workers_.empty()) {
@@ -198,7 +203,52 @@ class ThreadPool {
     enqueue(std::move(guarded));
   }
 
+  /// What `submit` does with an escaped task exception.
+  using SubmitErrorHandler = std::function<void(std::exception_ptr)>;
+
+  /// Install `handler` as the sink for escaped submit-task exceptions
+  /// (pass nullptr to restore the default capture-into-slot behavior).
+  /// The handler runs on whichever thread the task ran on and must not
+  /// throw — an exception escaping it is swallowed (there is nowhere
+  /// left to deliver it). Installing a handler does not disturb an
+  /// already-captured slot error.
+  void set_submit_error_handler(SubmitErrorHandler handler) {
+    std::lock_guard<std::mutex> lock(submit_error_mu_);
+    submit_error_handler_ = std::move(handler);
+  }
+
+  /// Poll-and-clear the default handler's slot: the first escaped
+  /// submit-task exception since the last take, or nullptr. The owner of
+  /// a pool running fire-and-forget work polls this at its own error
+  /// boundaries (the streaming builder surfaces its merge failures
+  /// through its own ladder instead — this slot is the safety net for
+  /// everything else).
+  std::exception_ptr take_submit_error() {
+    std::lock_guard<std::mutex> lock(submit_error_mu_);
+    return std::exchange(submit_error_, nullptr);
+  }
+
  private:
+  void note_submit_error(std::exception_ptr error) {
+    SubmitErrorHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(submit_error_mu_);
+      if (submit_error_handler_) {
+        handler = submit_error_handler_;  // copy; invoke outside the lock
+      } else if (!submit_error_) {
+        submit_error_ = error;  // default: capture the first escape
+      }
+    }
+    if (handler) {
+      try {
+        handler(std::move(error));
+      } catch (...) {
+        // The handler broke its no-throw contract; nothing can observe
+        // an exception here, so the escape ends at this boundary.
+      }
+    }
+  }
+
   /// True while the current thread is executing a chunk body (of any
   /// pool — the deadlock argument above only needs "this thread is
   /// inside a fork/join region", and a cross-pool nested fan-out from a
@@ -245,6 +295,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::mutex submit_error_mu_;  ///< guards the two members below
+  SubmitErrorHandler submit_error_handler_;
+  std::exception_ptr submit_error_;
 };
 
 }  // namespace i2a::util

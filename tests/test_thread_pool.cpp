@@ -5,16 +5,21 @@
 ///        serialization, concurrent callers sharing one pool, repeated
 ///        teardown, and the `submit` background-task contract — run
 ///        exactly once, inline when workerless, drained (not dropped) at
-///        destruction, serialized when fanning back into the pool — plus
-///        the streaming builder's background-compaction lifecycle built
-///        on it: tasks outliving destroyed snapshots and builders, and a
-///        failed background merge surfacing on the next `ingest()`. The
+///        destruction, serialized when fanning back into the pool, and
+///        escaped task exceptions routed to the pluggable submit error
+///        handler (default slot + `take_submit_error`, custom sinks,
+///        throwing-handler containment) — plus the streaming builder's
+///        background-compaction lifecycle built on it: tasks outliving
+///        destroyed snapshots and builders, and a failed background
+///        merge surfacing exactly once from `drain()` or the next
+///        `ingest()` (peeking through `snapshot().pending_error()`). The
 ///        whole file is TSan-clean by design — the TSan CI leg runs it
 ///        as the pool's race-detection stress — and leak-free under the
 ///        ASan leg (detached tasks own their state via shared_ptr).
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -355,11 +360,11 @@ void test_builder_destroyed_with_task_in_flight() {
   }  // builder destroyed, tasks possibly queued or running
 }  // pool destructor drains the remaining tasks
 
-void test_background_exception_surfaces_on_ingest() {
-  // A background merge failure must not vanish: it surfaces as the next
-  // ingest()'s exception, the failed-merge ladder stays serviceable for
-  // further appends, and the batch whose ingest delivered the error is
-  // NOT consumed.
+void test_background_exception_surfaces() {
+  // A background merge failure must not vanish: it is delivered exactly
+  // once, through whichever of drain() / the next ingest() comes first,
+  // the failed-merge ladder stays serviceable for further appends, and
+  // an ingest that delivers the error does NOT consume its batch.
   struct Boom {};
   struct ThrowingPlusTimes {
     using value_type = double;
@@ -378,22 +383,25 @@ void test_background_exception_surfaces_on_ingest() {
   // captured in the background task.
   builder.ingest(std::vector<graph::Edge>{{0, 1, 1.0}});
   builder.ingest(std::vector<graph::Edge>{{0, 1, 1.0}});
-  builder.drain();
+  // Channel 1: drain() settles the chain and rethrows the failure.
   bool threw = false;
   try {
-    builder.ingest(std::vector<graph::Edge>{{1, 2, 1.0}});
+    builder.drain();
   } catch (const Boom&) {
     threw = true;
   }
   CHECK(threw);
-  CHECK_EQ(builder.stats().batches, 2u);  // the erroring ingest consumed nothing
+  builder.drain();  // delivered exactly once: a second drain is clean
   CHECK_EQ(builder.stats().compactions, 0u);
-  // The error is delivered once: the same batch now ingests fine (and
-  // schedules another doomed merge — which again surfaces on the next
-  // call, pinning the repeat behavior).
+  // Channel 2: the next ingest(). Appending a third batch schedules
+  // another doomed merge; snapshot() *peeks* the failure without
+  // consuming it, which both proves the peek contract and lets the test
+  // wait for the task deterministically.
   builder.ingest(std::vector<graph::Edge>{{1, 2, 1.0}});
-  CHECK_EQ(builder.stats().batches, 3u);
-  builder.drain();
+  while (builder.snapshot().pending_error() == nullptr) {
+    std::this_thread::yield();
+  }
+  CHECK(builder.snapshot().pending_error() != nullptr);  // peek ≠ consume
   threw = false;
   try {
     builder.ingest(std::vector<graph::Edge>{{2, 0, 1.0}});
@@ -401,6 +409,81 @@ void test_background_exception_surfaces_on_ingest() {
     threw = true;
   }
   CHECK(threw);
+  CHECK_EQ(builder.stats().batches, 3u);  // the erroring ingest consumed nothing
+  // Delivered: the same batch now ingests fine.
+  builder.ingest(std::vector<graph::Edge>{{2, 0, 1.0}});
+  CHECK_EQ(builder.stats().batches, 4u);
+  // (That ingest scheduled one more doomed merge; its queued failure
+  // dying undelivered with the ladder is the documented shutdown
+  // behavior — the ASan leg checks nothing leaks.)
+}
+
+void test_submit_error_default_slot() {
+  // Workerless pool: submit runs inline, so capture order is
+  // deterministic. The default handler keeps the FIRST escaped
+  // exception; take_submit_error is poll-and-clear.
+  util::ThreadPool pool(1);
+  CHECK(pool.take_submit_error() == nullptr);
+  pool.submit([] { throw std::runtime_error("boom-1"); });
+  pool.submit([] { throw std::runtime_error("boom-2"); });  // slot taken
+  std::exception_ptr err = pool.take_submit_error();
+  CHECK(err != nullptr);
+  bool matched = false;
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::runtime_error& e) {
+    matched = std::string_view(e.what()) == "boom-1";
+  }
+  CHECK(matched);
+  CHECK(pool.take_submit_error() == nullptr);  // cleared by the take
+  pool.submit([] { throw std::runtime_error("boom-3"); });  // slot free again
+  err = pool.take_submit_error();
+  CHECK(err != nullptr);
+}
+
+void test_submit_error_worker_thread() {
+  // Same slot contract when the task runs on an actual worker.
+  util::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("worker-boom"); });
+  std::exception_ptr err;
+  while (!(err = pool.take_submit_error())) {
+    std::this_thread::yield();
+  }
+  bool matched = false;
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::runtime_error& e) {
+    matched = std::string_view(e.what()) == "worker-boom";
+  }
+  CHECK(matched);
+}
+
+void test_submit_error_custom_handler() {
+  util::ThreadPool pool(1);
+  std::vector<std::string> seen;
+  pool.set_submit_error_handler([&seen](std::exception_ptr e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::runtime_error& ex) {
+      seen.emplace_back(ex.what());
+    }
+  });
+  pool.submit([] { throw std::runtime_error("h1"); });
+  pool.submit([] { throw std::runtime_error("h2"); });
+  CHECK_EQ(seen.size(), 2u);  // handler sees EVERY escape, not just the first
+  CHECK(seen[0] == "h1");
+  CHECK(seen[1] == "h2");
+  CHECK(pool.take_submit_error() == nullptr);  // handler bypasses the slot
+  // A handler that breaks its no-throw contract is contained at the
+  // boundary — no std::terminate, no escape into the worker loop.
+  pool.set_submit_error_handler(
+      [](std::exception_ptr) { throw std::logic_error("handler bug"); });
+  pool.submit([] { throw std::runtime_error("h3"); });
+  // nullptr restores the default capture-into-slot behavior.
+  pool.set_submit_error_handler(nullptr);
+  pool.submit([] { throw std::runtime_error("h4"); });
+  std::exception_ptr err = pool.take_submit_error();
+  CHECK(err != nullptr);
 }
 
 }  // namespace
@@ -415,8 +498,11 @@ int main() {
   test_exception_under_contention();
   test_repeated_teardown();
   test_submit_basics();
+  test_submit_error_default_slot();
+  test_submit_error_worker_thread();
+  test_submit_error_custom_handler();
   test_background_task_outlives_snapshot();
   test_builder_destroyed_with_task_in_flight();
-  test_background_exception_surfaces_on_ingest();
+  test_background_exception_surfaces();
   return TEST_MAIN_RESULT();
 }

@@ -41,6 +41,7 @@
 #include "stream/pinned_snapshot.hpp"
 #include "stream/sharded_builder.hpp"
 #include "util/contract.hpp"
+#include "util/failpoint.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
