@@ -217,6 +217,9 @@ Csr<T> merge_add_k(const std::vector<const Csr<T>*>& runs, const Add& add,
 /// Refcounted-run overload: the shape `PinnedSnapshot` and the ladder
 /// hold runs in. The handles pin the runs for the duration of the merge;
 /// the fold itself is identical to the raw-pointer overload.
+// i2a-lint: allow(kernel-entry-expects): forwarding overload — the
+// kernel-boundary contract is checked by the raw-pointer kernel it
+// immediately calls.
 template <typename T, typename Add>
 Csr<T> merge_add_k(
     const std::vector<std::shared_ptr<const Csr<T>>>& runs, const Add& add,

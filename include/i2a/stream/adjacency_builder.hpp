@@ -95,13 +95,11 @@
 /// merge, or a per-batch delta produced it — the Debug/
 /// `I2A_CHECK_INVARIANTS` CI legs execute the background path too.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -117,6 +115,8 @@
 #include "stream/pinned_snapshot.hpp"
 #include "util/contract.hpp"
 #include "util/failpoint.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::stream {
@@ -215,8 +215,8 @@ class AdjacencyBuilder {
 
   index_t num_vertices() const { return n_; }
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(ladder_->mu);
+  Stats stats() const I2A_EXCLUDES(ladder_->mu) {
+    util::MutexLock lock(ladder_->mu);
     Stats s = ladder_->stats;
     s.pending_merges = static_cast<std::uint64_t>(pending_merges_locked());
     s.failpoints_hit = util::failpoints_fired_total();
@@ -227,8 +227,8 @@ class AdjacencyBuilder {
   /// settled — always after an inline-mode `ingest`, and after `drain()`
   /// in background mode (mid-flight the count may transiently exceed the
   /// bound while appends outpace the in-flight merge).
-  index_t num_levels() const {
-    std::lock_guard<std::mutex> lock(ladder_->mu);
+  index_t num_levels() const I2A_EXCLUDES(ladder_->mu) {
+    util::MutexLock lock(ladder_->mu);
     return static_cast<index_t>(ladder_->runs.size());
   }
 
@@ -263,12 +263,12 @@ class AdjacencyBuilder {
   /// further synchronization. Never throws past allocation: a pending
   /// background failure is *peeked* (not consumed) into the snapshot's
   /// `pending_error()`. See stream/pinned_snapshot.hpp.
-  PinnedSnapshot<P> snapshot() const {
+  PinnedSnapshot<P> snapshot() const I2A_EXCLUDES(ladder_->mu) {
     std::vector<std::shared_ptr<const sparse::Csr<value_type>>> pins;
     std::uint64_t epoch;
     std::exception_ptr pending;
     {
-      std::lock_guard<std::mutex> lock(ladder_->mu);
+      util::MutexLock lock(ladder_->mu);
       pins.reserve(ladder_->runs.size());
       for (const auto& run : ladder_->runs) pins.push_back(run.csr);
       epoch = ladder_->stats.batches;
@@ -289,11 +289,11 @@ class AdjacencyBuilder {
   /// one is scheduled (no-op in inline mode), then rethrow the oldest
   /// still-undelivered background-merge failure, if any — each queued
   /// failure is delivered exactly once across `drain()` and `ingest()`.
-  void drain() const {
+  void drain() const I2A_EXCLUDES(ladder_->mu) {
     std::exception_ptr err;
     {
-      std::unique_lock<std::mutex> lock(ladder_->mu);
-      ladder_->cv.wait(lock, [this] { return !ladder_->compacting; });
+      util::MutexLock lock(ladder_->mu);
+      while (ladder_->compacting) ladder_->cv.wait(ladder_->mu);
       err = pop_error_locked();
     }
     if (err) std::rethrow_exception(err);
@@ -312,16 +312,20 @@ class AdjacencyBuilder {
   };
 
   /// Shared ladder state. Refcounted so background compaction tasks can
-  /// outlive the builder object itself; `mu` guards every member.
+  /// outlive the builder object itself; `mu` guards every member, and
+  /// the `I2A_GUARDED_BY` annotations make `-Wthread-safety` prove it on
+  /// every access path (writer, reader pin, background task).
   struct Ladder {
-    mutable std::mutex mu;
-    std::condition_variable cv;   ///< signaled when a compaction settles
-    std::vector<Run> runs;        ///< oldest first, consecutive intervals
-    Stats stats;
-    bool compacting = false;      ///< a compaction holds the token
+    mutable util::Mutex mu;
+    util::CondVar cv;             ///< signaled when a compaction settles
+    /// Run list, oldest first, consecutive intervals.
+    std::vector<Run> runs I2A_GUARDED_BY(mu);
+    Stats stats I2A_GUARDED_BY(mu);
+    /// True while a compaction holds the token.
+    bool compacting I2A_GUARDED_BY(mu) = false;
     /// Failed background merges, oldest first; each entry is delivered
     /// exactly once (drain / ingest pop, snapshot peeks).
-    std::vector<std::exception_ptr> errors;
+    std::vector<std::exception_ptr> errors I2A_GUARDED_BY(mu);
   };
 
   /// The staged-but-uncommitted half of a publish. `prepare_publish` does
@@ -340,16 +344,16 @@ class AdjacencyBuilder {
     std::size_t batch_edges = 0;
   };
 
-  void rethrow_pending_error() {
+  void rethrow_pending_error() I2A_EXCLUDES(ladder_->mu) {
     std::exception_ptr err;
     {
-      std::lock_guard<std::mutex> lock(ladder_->mu);
+      util::MutexLock lock(ladder_->mu);
       err = pop_error_locked();
     }
     if (err) std::rethrow_exception(err);
   }
 
-  std::exception_ptr pop_error_locked() const {
+  std::exception_ptr pop_error_locked() const I2A_REQUIRES(ladder_->mu) {
     if (ladder_->errors.empty()) return nullptr;
     std::exception_ptr err = ladder_->errors.front();
     ladder_->errors.erase(ladder_->errors.begin());
@@ -386,21 +390,21 @@ class AdjacencyBuilder {
   /// commit's push_back cannot throw.
   Prepared prepare_publish(
       std::shared_ptr<const sparse::Csr<value_type>> delta,
-      std::size_t batch_edges) {
+      std::size_t batch_edges) I2A_EXCLUDES(ladder_->mu) {
     Prepared prep;
     prep.batch_edges = batch_edges;
     prep.delta_nnz = static_cast<std::uint64_t>(delta ? delta->nnz() : 0);
     if (compaction_ == Compaction::kInline) {
       prep.inline_mode = true;
       {
-        std::lock_guard<std::mutex> lock(ladder_->mu);
+        util::MutexLock lock(ladder_->mu);
         prep.runs = ladder_->runs;
       }
       if (delta) prep.runs.push_back(Run{std::move(delta), 1});
       settle_runs(prep.runs, prep.compactions, prep.merged_entries);
     } else {
       prep.delta = std::move(delta);
-      std::lock_guard<std::mutex> lock(ladder_->mu);
+      util::MutexLock lock(ladder_->mu);
       ladder_->runs.reserve(ladder_->runs.size() + 1);
       // One spare error slot, so a background task's failure report
       // cannot itself die on allocation in the common case.
@@ -417,9 +421,15 @@ class AdjacencyBuilder {
   /// publish) and a failed submit runs the task inline on this thread
   /// (an absorbed degradation, counted in `backpressure_events`); in no
   /// case does a scheduling failure un-ingest the batch.
-  void commit_publish(Prepared&& prep) noexcept {
+  // NOLINTNEXTLINE(bugprone-exception-escape): every fallible step ran
+  // in prepare_publish (capacities reserved, merges settled on private
+  // state); what remains is pointer splices, counter bumps, and the
+  // absorb boundaries documented in DESIGN.md §10. The lint rule
+  // `commit-noexcept` (tools/lint/) enforces that commit-phase
+  // functions keep this declaration.
+  void commit_publish(Prepared&& prep) noexcept I2A_EXCLUDES(ladder_->mu) {
     if (prep.inline_mode) {
-      std::lock_guard<std::mutex> lock(ladder_->mu);
+      util::MutexLock lock(ladder_->mu);
       ladder_->runs = std::move(prep.runs);
       ++ladder_->stats.batches;
       ladder_->stats.edges += prep.batch_edges;
@@ -430,7 +440,7 @@ class AdjacencyBuilder {
     }
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(ladder_->mu);
+      util::MutexLock lock(ladder_->mu);
       if (prep.delta) {
         ladder_->runs.push_back(Run{std::move(prep.delta), 1});
       }
@@ -459,7 +469,7 @@ class AdjacencyBuilder {
     }
     if (fallback) {
       {
-        std::lock_guard<std::mutex> lock(ladder_->mu);
+        util::MutexLock lock(ladder_->mu);
         ++ladder_->stats.backpressure_events;
       }
       try {
@@ -482,30 +492,38 @@ class AdjacencyBuilder {
   /// thread. A merge failure here is recorded in the deferred-error
   /// queue (the batch is already consumed, so the strong-guarantee
   /// channel is closed); the old run list stays.
-  void maybe_backpressure() {
+  void maybe_backpressure() I2A_EXCLUDES(ladder_->mu) {
     if (compaction_ != Compaction::kBackground) return;
     if (max_pending_merges_ == kUnboundedPendingMerges) return;
-    std::unique_lock<std::mutex> lock(ladder_->mu);
+    util::MutexLock lock(ladder_->mu);
     if (pending_merges_locked() <= max_pending_merges_) return;
     ++ladder_->stats.backpressure_events;
-    ladder_->cv.wait(lock, [this] { return !ladder_->compacting; });
+    while (ladder_->compacting) ladder_->cv.wait(ladder_->mu);
     if (pending_merges_locked() <= max_pending_merges_) return;
     ladder_->compacting = true;
     std::vector<Run> runs = ladder_->runs;
     lock.unlock();
     std::uint64_t compactions = 0;
     std::uint64_t merged_entries = 0;
+    // The settle runs unlocked on a private copy; success/failure is
+    // recorded and applied under one relock below, so no lock
+    // transition sits on an exceptional edge (the thread-safety
+    // analysis does not model unwinding).
+    std::exception_ptr failure;
     try {
       settle_runs(runs, compactions, merged_entries);
-      lock.lock();
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    lock.lock();
+    if (!failure) {
       ladder_->runs = std::move(runs);
       ladder_->stats.compactions += compactions;
       ladder_->stats.merged_entries += merged_entries;
-    } catch (...) {
-      lock.lock();
+    } else {
       // Partial settle progress is discarded (private copy); the failure
       // is delivered exactly once via drain()/the next ingest().
-      ladder_->errors.push_back(std::current_exception());
+      ladder_->errors.push_back(failure);
     }
     ladder_->compacting = false;
     lock.unlock();
@@ -515,7 +533,7 @@ class AdjacencyBuilder {
   /// How many merges the compaction policy still owes on the current run
   /// list — simulated on the weights alone (no data touched). Caller
   /// holds the ladder lock.
-  std::size_t pending_merges_locked() const {
+  std::size_t pending_merges_locked() const I2A_REQUIRES(ladder_->mu) {
     std::vector<std::uint64_t> w;
     w.reserve(ladder_->runs.size());
     for (const Run& r : ladder_->runs) w.push_back(r.weight);
@@ -618,48 +636,57 @@ class AdjacencyBuilder {
   /// happens *before* the token is taken, so a throw from here leaves
   /// the ladder unclaimed.
   static std::function<void()> plan_task_locked(std::shared_ptr<Ladder> lad,
-                                                util::ThreadPool* pool, P p) {
+                                                util::ThreadPool* pool, P p)
+      I2A_REQUIRES(lad->mu) {
     if (lad->compacting) return nullptr;
     const auto [lo, hi] = plan_suffix(lad->runs);
     if (hi <= lo) return nullptr;
-    Ladder* raw = lad.get();
     std::vector<Run> group(lad->runs.begin() + static_cast<std::ptrdiff_t>(lo),
                            lad->runs.begin() + static_cast<std::ptrdiff_t>(hi));
     std::function<void()> task =
-        [lad = std::move(lad), pool, p = std::move(p),
+        [lad, pool, p = std::move(p),
          group = std::move(group), lo, hi]() mutable {
-      std::function<void()> next;
+      // The merge runs unlocked; its outcome is committed under one
+      // locked scope below so no lock operation sits on an exceptional
+      // edge (the thread-safety analysis does not model unwinding).
+      Run merged{};
+      std::exception_ptr failure;
       try {
-        Run merged = merge_group(group, 0, group.size(), p, nullptr);
+        merged = merge_group(group, 0, group.size(), p, nullptr);
         // Injection site: the background twin of the inline splice site —
         // the merge succeeded, the commit under the lock has not happened.
         I2A_FAILPOINT("builder.ladder.splice");
-        std::lock_guard<std::mutex> lock(lad->mu);
-        lad->runs.erase(
-            lad->runs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
-            lad->runs.begin() + static_cast<std::ptrdiff_t>(hi));
-        lad->runs[lo] = std::move(merged);
-        ++lad->stats.compactions;
-        lad->stats.merged_entries +=
-            static_cast<std::uint64_t>(lad->runs[lo].csr->nnz());
-        lad->compacting = false;
-        try {
-          next = plan_task_locked(lad, pool, p);
-        } catch (...) {
-          // Replanning failed to allocate: the chain parks (token free),
-          // the next publish replans. Nothing to report — no work lost.
-        }
-        lad->cv.notify_all();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(lad->mu);
-        // The chain parks; the failure is delivered exactly once via
-        // drain()/the next ingest(). (This push_back is the one spot
-        // where reporting can itself fail on allocation — prepare
-        // reserves a spare slot to keep that a corner of a corner; an
-        // escape here lands in the pool's submit-error slot, never
-        // std::terminate.)
-        lad->errors.push_back(std::current_exception());
-        lad->compacting = false;
+        failure = std::current_exception();
+      }
+      std::function<void()> next;
+      {
+        util::MutexLock lock(lad->mu);
+        if (!failure) {
+          lad->runs.erase(
+              lad->runs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+              lad->runs.begin() + static_cast<std::ptrdiff_t>(hi));
+          lad->runs[lo] = std::move(merged);
+          ++lad->stats.compactions;
+          lad->stats.merged_entries +=
+              static_cast<std::uint64_t>(lad->runs[lo].csr->nnz());
+          lad->compacting = false;
+          try {
+            next = plan_task_locked(lad, pool, p);
+          } catch (...) {
+            // Replanning failed to allocate: the chain parks (token free),
+            // the next publish replans. Nothing to report — no work lost.
+          }
+        } else {
+          // The chain parks; the failure is delivered exactly once via
+          // drain()/the next ingest(). (This push_back is the one spot
+          // where reporting can itself fail on allocation — prepare
+          // reserves a spare slot to keep that a corner of a corner; an
+          // escape here lands in the pool's submit-error slot, never
+          // std::terminate.)
+          lad->errors.push_back(failure);
+          lad->compacting = false;
+        }
         lad->cv.notify_all();
       }
       if (next) {
@@ -668,13 +695,13 @@ class AdjacencyBuilder {
         } catch (...) {
           // Re-chain submit failed: release the token the replan took
           // and park — the next publish replans the same suffix.
-          std::lock_guard<std::mutex> lock(lad->mu);
+          util::MutexLock lock(lad->mu);
           lad->compacting = false;
           lad->cv.notify_all();
         }
       }
     };
-    raw->compacting = true;  // only after every fallible step above
+    lad->compacting = true;  // only after every fallible step above
     return task;
   }
 

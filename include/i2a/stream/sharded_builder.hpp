@@ -58,6 +58,8 @@
 #include "sparse/spgemm.hpp"
 #include "stream/adjacency_builder.hpp"
 #include "stream/pinned_snapshot.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace i2a::stream {
@@ -112,7 +114,7 @@ class ShardedBuilder {
   /// publish an empty delta — keeping all shard epochs in lockstep.
   /// Backpressure (if configured) runs last, per shard, outside the
   /// coordination mutex.
-  void ingest(std::span<const graph::Edge> batch) {
+  void ingest(std::span<const graph::Edge> batch) I2A_EXCLUDES(mu_) {
     for (auto& shard : shards_) shard.rethrow_pending_error();
     for (const graph::Edge& e : batch) {
       if (e.src < 0 || e.src >= n_ || e.dst < 0 || e.dst >= n_) {
@@ -138,7 +140,7 @@ class ShardedBuilder {
     // Phase 2: commit every shard — noexcept per shard — atomically with
     // respect to fused snapshots.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (std::size_t s = 0; s < k; ++s) {
         shards_[s].commit_publish(std::move(preps[s]));
       }
@@ -156,12 +158,12 @@ class ShardedBuilder {
   /// `PinnedSnapshot`. Rows are disjoint across shards, so the fused
   /// read paths fold each row from exactly its owning shard's runs —
   /// byte-identical to the single-builder snapshot of the same prefix.
-  PinnedSnapshot<P> snapshot() const {
+  PinnedSnapshot<P> snapshot() const I2A_EXCLUDES(mu_) {
     std::vector<std::shared_ptr<const sparse::Csr<value_type>>> fused;
     std::uint64_t epoch = 0;
     std::exception_ptr pending;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (std::size_t s = 0; s < shards_.size(); ++s) {
         PinnedSnapshot<P> pin = shards_[s].snapshot();
         if (s == 0) epoch = pin.batches();
@@ -239,8 +241,11 @@ class ShardedBuilder {
   index_t n_;
   P p_;
   /// Orders (publish-to-all) against (pin-all): a fused snapshot always
-  /// sees every shard at the same epoch.
-  mutable std::mutex mu_;
+  /// sees every shard at the same epoch. The per-shard ladders are
+  /// guarded by their own mutexes (see AdjacencyBuilder::Ladder); this
+  /// capability only sequences the two cross-shard composites, so it is
+  /// always the outermost lock (DESIGN.md §11).
+  mutable util::Mutex mu_;
   std::vector<AdjacencyBuilder<P>> shards_;
 };
 

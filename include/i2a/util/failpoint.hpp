@@ -51,12 +51,14 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 #if defined(I2A_FAILPOINTS) && I2A_FAILPOINTS
 #define I2A_FAILPOINTS_ENABLED 1
@@ -136,11 +138,11 @@ class FailpointRegistry {
   /// Site evaluation — what `I2A_FAILPOINT(name)` expands to in
   /// failpoint builds. Registers the site on first reach; throws per the
   /// armed schedule, after releasing the registry lock.
-  void hit(const char* name) {
+  void hit(const char* name) I2A_EXCLUDES(mu_) {
     Kind kind = Kind::kError;
     bool fire = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Site& site = sites_[name];  // registration on first evaluation
       ++site.evaluations;
       Schedule& sched = site.schedule;
@@ -180,29 +182,29 @@ class FailpointRegistry {
   /// Arm `name` with `schedule`. The site need not have been evaluated
   /// yet (arming registers it), so tests can arm before the first pass
   /// through the code under test.
-  void arm(const std::string& name, Schedule schedule) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void arm(const std::string& name, Schedule schedule) I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     Site& site = sites_[name];
     site.schedule = schedule;
     site.armed_evaluations = 0;
   }
 
   /// Disarm `name`: clears the schedule, keeps registration + counters.
-  void disarm(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void disarm(const std::string& name) I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const auto it = sites_.find(name);
     if (it != sites_.end()) it->second.schedule = Schedule{};
   }
 
-  void disarm_all() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void disarm_all() I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (auto& [name, site] : sites_) site.schedule = Schedule{};
   }
 
   /// Every registered site name, sorted (std::map order). A site is
   /// registered by evaluation or by arming.
-  std::vector<std::string> sites() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> sites() const I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     std::vector<std::string> out;
     out.reserve(sites_.size());
     for (const auto& [name, site] : sites_) out.push_back(name);
@@ -211,19 +213,20 @@ class FailpointRegistry {
 
   /// Total fires across all sites since process start — the
   /// `failpoints_hit` stream stat.
-  std::uint64_t fired() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t fired() const I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return fired_;
   }
 
   /// Per-site counters, for tests asserting exact delivery counts.
-  std::uint64_t fired(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t fired(const std::string& name) const I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const auto it = sites_.find(name);
     return it == sites_.end() ? 0 : it->second.fired;
   }
-  std::uint64_t evaluations(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t evaluations(const std::string& name) const
+      I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const auto it = sites_.find(name);
     return it == sites_.end() ? 0 : it->second.evaluations;
   }
@@ -243,9 +246,9 @@ class FailpointRegistry {
     return z ^ (z >> 31);
   }
 
-  mutable std::mutex mu_;
-  std::map<std::string, Site> sites_;
-  std::uint64_t fired_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Site> sites_ I2A_GUARDED_BY(mu_);
+  std::uint64_t fired_ I2A_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII arm/disarm: the site is armed for exactly this scope, so an
@@ -257,6 +260,9 @@ class ScopedFailpoint {
       : name_(std::move(name)) {
     FailpointRegistry::instance().arm(name_, schedule);
   }
+  // NOLINTNEXTLINE(bugprone-exception-escape): disarm only clears an
+  // existing map entry (find + assign), which cannot throw; the lookup
+  // allocates nothing.
   ~ScopedFailpoint() { FailpointRegistry::instance().disarm(name_); }
   ScopedFailpoint(const ScopedFailpoint&) = delete;
   ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;

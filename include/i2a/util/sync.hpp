@@ -1,0 +1,132 @@
+#pragma once
+/// \file util/sync.hpp
+/// \brief The annotated synchronization primitives the serving core
+///        locks with: `Mutex` (a capability in the Clang Thread Safety
+///        sense), `MutexLock` (the scoped capability), and `CondVar`.
+///
+/// `std::mutex` under libstdc++ carries no capability attributes, so the
+/// analysis cannot reason about it: `I2A_GUARDED_BY(some_std_mutex)` is
+/// rejected at the attribute level and `std::lock_guard` acquisitions
+/// are invisible. These thin wrappers fix exactly that — `Mutex` *is* a
+/// `std::mutex` (same storage, same calls, zero added state) whose
+/// lock/unlock surface is annotated, and `MutexLock` is the
+/// `std::lock_guard`/`std::unique_lock` replacement the analysis tracks
+/// as a scoped capability, including mid-scope `unlock()`/`lock()`
+/// (the backpressure stall uses that). The shapes follow the reference
+/// `MutexLocker` in the Clang Thread Safety Analysis documentation, so
+/// the analysis' scoped-capability special cases all apply.
+///
+/// `CondVar` keeps `std::condition_variable` (not the heavier
+/// `condition_variable_any`): `wait(Mutex&)` adopts the held native
+/// mutex into a `std::unique_lock` for the duration of the wait and
+/// releases ownership before returning, so the runtime behavior — same
+/// cv type, same mutex, same syscalls — is bit-for-bit what the
+/// pre-annotation code did. There is deliberately no predicate overload:
+/// callers write `while (!cond) cv.wait(mu);` so every guarded read in
+/// the predicate is visible to the analysis in the locked scope instead
+/// of hidden inside a lambda.
+///
+/// Repo lint rule `bare-mutex-member` (tools/lint/) enforces that no
+/// other `std::mutex` member exists anywhere in include/i2a — every
+/// mutex must be a capability the analysis can see.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace i2a::util {
+
+class CondVar;
+
+/// An annotated mutex: `std::mutex` storage and semantics, declared as a
+/// thread-safety capability so members can be `I2A_GUARDED_BY` it and
+/// functions can `I2A_REQUIRES` / `I2A_ACQUIRE` / `I2A_RELEASE` it.
+class I2A_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() I2A_ACQUIRE() { mu_.lock(); }
+  void unlock() I2A_RELEASE() { mu_.unlock(); }
+  bool try_lock() I2A_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  ///< wait() adopts the native handle
+
+  // i2a-lint: allow(bare-mutex-member): this IS the capability wrapper —
+  // the one place the raw std::mutex may live; everything else must
+  // declare a util::Mutex so the analysis sees it.
+  std::mutex mu_;
+};
+
+/// RAII scoped capability: acquires `mu` for the lifetime of the object,
+/// with mid-scope `unlock()`/`lock()` for wait-then-work patterns. The
+/// thread-safety analysis tracks all four transitions (construct,
+/// unlock, relock, destruct).
+class I2A_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) I2A_ACQUIRE(mu) : mu_(&mu), held_(true) {
+    mu.lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release before end of scope (the stall paths notify after
+  /// unlocking). Calling while not held is undefined, and the analysis
+  /// rejects it at compile time.
+  void unlock() I2A_RELEASE() {
+    mu_->unlock();
+    held_ = false;
+  }
+
+  /// Reacquire after a mid-scope `unlock()`.
+  void lock() I2A_ACQUIRE() {
+    mu_->lock();
+    held_ = true;
+  }
+
+  // NOLINTNEXTLINE(bugprone-exception-escape): std::mutex::unlock throws
+  // nothing (the standard says so); its declaration just predates
+  // noexcept, which is all the path analysis can see.
+  ~MutexLock() I2A_RELEASE() {
+    if (held_) mu_->unlock();
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+/// Condition variable over `Mutex`. `wait` requires the capability held
+/// — enforced at compile time — and preserves `std::condition_variable`
+/// wait semantics exactly (atomically unlocks, blocks, relocks).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and reacquire before returning.
+  /// Spurious wakeups happen; callers loop on their predicate.
+  void wait(Mutex& mu) I2A_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release ownership so the unique_lock's destructor does not
+    // unlock what the caller's MutexLock still manages. No annotated
+    // call is involved, so the analysis sees the capability simply stay
+    // held across the wait — which is the correct caller-facing model.
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace i2a::util

@@ -1,0 +1,106 @@
+#pragma once
+/// \file util/thread_annotations.hpp
+/// \brief Clang Thread Safety Analysis vocabulary for the serving core:
+///        `I2A_CAPABILITY`, `I2A_GUARDED_BY`, `I2A_REQUIRES`, … — the
+///        macros every lock-owning type threads through its members and
+///        methods so `-Wthread-safety` proves the lock discipline at
+///        compile time (DESIGN.md §11).
+///
+/// The dynamic checkers (the TSan CI leg, the failpoint sweeps) can only
+/// flag a locking bug on an interleaving some test actually schedules.
+/// These annotations close that gap: they declare, in the type system,
+/// which mutex guards which state and which functions require or acquire
+/// which capability, and Clang's `-Wthread-safety` analysis then rejects
+/// *any* code path — including ones added by future PRs — that touches
+/// guarded state without holding the right lock. The CI thread-safety
+/// leg compiles the whole tree with `-Wthread-safety -Werror`; two
+/// configure-time negative compile tests (tests/compile_fail/ts_*.cpp)
+/// prove the analysis actually bites, and a positive control proves the
+/// vocabulary itself is warning-clean.
+///
+/// **Zero runtime cost.** Every macro expands to a pure attribute —
+/// Clang consumes it at analysis time and emits identical object code
+/// with or without it (the CI leg byte-compares the two, see
+/// tools/lint/check_zero_cost.sh). On compilers without the attribute
+/// family (GCC) the macros expand to nothing, so the annotated headers
+/// stay portable. `I2A_DISABLE_THREAD_ANNOTATIONS` force-disables the
+/// expansion on Clang too — that is what the byte-identity check
+/// compiles against.
+///
+/// The macro set mirrors the vocabulary from the Clang Thread Safety
+/// Analysis documentation (and Abseil's thread_annotations.h), with the
+/// `I2A_` prefix. The annotated capability types themselves — the
+/// `Mutex` wrapper, the `MutexLock` scoped capability, and `CondVar` —
+/// live in util/sync.hpp.
+
+#if defined(__clang__) && !defined(I2A_DISABLE_THREAD_ANNOTATIONS) && \
+    defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define I2A_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef I2A_THREAD_ANNOTATION_
+#define I2A_THREAD_ANNOTATION_(x)  // not Clang (or disabled): expand to nothing
+#endif
+
+/// Class attribute: instances of this type are capabilities ("mutex",
+/// "role", …). Acquiring/releasing the object is what ACQUIRE/RELEASE
+/// functions declare; GUARDED_BY names an instance.
+#define I2A_CAPABILITY(x) I2A_THREAD_ANNOTATION_(capability(x))
+
+/// Class attribute: RAII object that acquires a capability at
+/// construction and releases it at destruction (util::MutexLock).
+#define I2A_SCOPED_CAPABILITY I2A_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member attribute: reads need the capability held (shared or
+/// exclusive); writes need it held exclusively.
+#define I2A_GUARDED_BY(x) I2A_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Member attribute for pointers: the *pointee* is guarded (the pointer
+/// itself may be read freely).
+#define I2A_PT_GUARDED_BY(x) I2A_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the named capabilities
+/// exclusively on entry (and still holds them on exit).
+#define I2A_REQUIRES(...) \
+  I2A_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must hold at least shared access.
+#define I2A_REQUIRES_SHARED(...) \
+  I2A_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the named capabilities (must not be held
+/// on entry; held on exit). On a scoped-capability member with no
+/// argument, refers to the capabilities the object manages.
+#define I2A_ACQUIRE(...) \
+  I2A_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the named capabilities (held on entry;
+/// not held on exit).
+#define I2A_RELEASE(...) \
+  I2A_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value
+/// equals the first argument (e.g. `I2A_TRY_ACQUIRE(true)` on try_lock).
+#define I2A_TRY_ACQUIRE(...) \
+  I2A_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the named capabilities must NOT be held on entry
+/// — the declared anti-deadlock / anti-self-lock contract for public
+/// entry points that take the lock themselves.
+#define I2A_EXCLUDES(...) I2A_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts (at analysis level) that the capability
+/// is held — for code reached only from holders the analysis can't see.
+#define I2A_ASSERT_CAPABILITY(x) \
+  I2A_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function attribute: the function returns a reference to the named
+/// capability (accessor pattern).
+#define I2A_RETURN_CAPABILITY(x) I2A_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Function attribute: opt this function out of the analysis entirely.
+/// The documented escape hatch — EVERY use must be listed with its
+/// justification in DESIGN.md §11, and the list is part of review.
+#define I2A_NO_THREAD_SAFETY_ANALYSIS \
+  I2A_THREAD_ANNOTATION_(no_thread_safety_analysis)

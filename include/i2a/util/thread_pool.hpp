@@ -25,18 +25,25 @@
 /// owner polls with `take_submit_error()`; `set_submit_error_handler`
 /// replaces that with a caller-supplied sink (log-and-count, rethrow
 /// into a supervisor, …).
+///
+/// Lock discipline (DESIGN.md §11, checked by `-Wthread-safety`): `mu_`
+/// guards the task queue and the stop flag; `submit_error_mu_` guards
+/// the submit-error handler and slot. The two are never held together.
+/// Every guarded member carries `I2A_GUARDED_BY`, so any new code path
+/// that touches pool state without the right lock is a compile error on
+/// the CI thread-safety leg, not a TSan race some test has to schedule.
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace i2a::util {
 
@@ -55,9 +62,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  // NOLINTNEXTLINE(bugprone-exception-escape): thread::join can throw
+  // std::system_error only for deadlock-with-self or invalid handles,
+  // both of which are unrecoverable pool-usage bugs; terminating is the
+  // right outcome.
+  ~ThreadPool() I2A_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -103,7 +114,8 @@ class ThreadPool {
   /// decomposition is the pool-size-1 one); `num_chunks` describes
   /// non-nested calls.
   void parallel_for_chunks(
-      index_t n, const std::function<void(index_t, index_t, index_t)>& fn) {
+      index_t n, const std::function<void(index_t, index_t, index_t)>& fn)
+      I2A_EXCLUDES(mu_) {
     if (n <= 0) return;
     const auto chunks = static_cast<index_t>(size());
     if (chunks == 1 || n == 1 || in_chunk()) {
@@ -116,10 +128,10 @@ class ThreadPool {
     // a worker's final notify may run after the caller has already seen
     // pending == 0, so stack-local state would be a use-after-scope.
     struct JoinState {
-      std::mutex mu;
-      std::condition_variable cv;
-      index_t pending = 0;
-      std::exception_ptr error;
+      Mutex mu;
+      CondVar cv;
+      index_t pending I2A_GUARDED_BY(mu) = 0;
+      std::exception_ptr error I2A_GUARDED_BY(mu);
     };
     const auto state = std::make_shared<JoinState>();
 
@@ -138,11 +150,11 @@ class ThreadPool {
             ChunkGuard guard;
             fn(begin / step, begin, end);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(state->mu);
             if (!state->error) state->error = std::current_exception();
           }
           {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(state->mu);
             --state->pending;
           }
           state->cv.notify_one();
@@ -151,12 +163,12 @@ class ThreadPool {
         // A failed push must not unwind while already-enqueued chunks
         // still hold their reference to `fn` (and to this frame's
         // `state` use): drain them, then rethrow the push failure.
-        std::unique_lock<std::mutex> lock(state->mu);
-        state->cv.wait(lock, [&] { return state->pending == 0; });
+        MutexLock lock(state->mu);
+        while (state->pending != 0) state->cv.wait(state->mu);
         throw;
       }
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         ++state->pending;
       }
     }
@@ -166,11 +178,11 @@ class ThreadPool {
       ChunkGuard guard;
       fn(0, 0, step < n ? step : n);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       if (!state->error) state->error = std::current_exception();
     }
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->pending == 0; });
+    MutexLock lock(state->mu);
+    while (state->pending != 0) state->cv.wait(state->mu);
     if (state->error) std::rethrow_exception(state->error);
   }
 
@@ -187,7 +199,7 @@ class ThreadPool {
   /// the default handler stores the first one for `take_submit_error`.
   /// `submit` itself may throw (queue allocation) — the task then never
   /// ran, and the caller still owns the work.
-  void submit(std::function<void()> task) {
+  void submit(std::function<void()> task) I2A_EXCLUDES(mu_) {
     auto guarded = [this, t = std::move(task)] {
       ChunkGuard guard;
       try {
@@ -212,8 +224,9 @@ class ThreadPool {
   /// throw — an exception escaping it is swallowed (there is nowhere
   /// left to deliver it). Installing a handler does not disturb an
   /// already-captured slot error.
-  void set_submit_error_handler(SubmitErrorHandler handler) {
-    std::lock_guard<std::mutex> lock(submit_error_mu_);
+  void set_submit_error_handler(SubmitErrorHandler handler)
+      I2A_EXCLUDES(submit_error_mu_) {
+    MutexLock lock(submit_error_mu_);
     submit_error_handler_ = std::move(handler);
   }
 
@@ -223,16 +236,17 @@ class ThreadPool {
   /// boundaries (the streaming builder surfaces its merge failures
   /// through its own ladder instead — this slot is the safety net for
   /// everything else).
-  std::exception_ptr take_submit_error() {
-    std::lock_guard<std::mutex> lock(submit_error_mu_);
+  std::exception_ptr take_submit_error() I2A_EXCLUDES(submit_error_mu_) {
+    MutexLock lock(submit_error_mu_);
     return std::exchange(submit_error_, nullptr);
   }
 
  private:
-  void note_submit_error(std::exception_ptr error) {
+  void note_submit_error(std::exception_ptr error)
+      I2A_EXCLUDES(submit_error_mu_) {
     SubmitErrorHandler handler;
     {
-      std::lock_guard<std::mutex> lock(submit_error_mu_);
+      MutexLock lock(submit_error_mu_);
       if (submit_error_handler_) {
         handler = submit_error_handler_;  // copy; invoke outside the lock
       } else if (!submit_error_) {
@@ -268,20 +282,20 @@ class ThreadPool {
     ChunkGuard& operator=(const ChunkGuard&) = delete;
   };
 
-  void enqueue(std::function<void()> task) {
+  void enqueue(std::function<void()> task) I2A_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       tasks_.push(std::move(task));
     }
     cv_.notify_one();
   }
 
-  void worker_loop() {
+  void worker_loop() I2A_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && tasks_.empty()) cv_.wait(mu_);
         if (stopping_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -290,14 +304,14 @@ class ThreadPool {
     }
   }
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::mutex submit_error_mu_;  ///< guards the two members below
-  SubmitErrorHandler submit_error_handler_;
-  std::exception_ptr submit_error_;
+  std::vector<std::thread> workers_;  ///< written in ctor, joined in dtor only
+  Mutex mu_;
+  CondVar cv_;  ///< signaled on enqueue and on stop
+  std::queue<std::function<void()>> tasks_ I2A_GUARDED_BY(mu_);
+  bool stopping_ I2A_GUARDED_BY(mu_) = false;
+  Mutex submit_error_mu_;
+  SubmitErrorHandler submit_error_handler_ I2A_GUARDED_BY(submit_error_mu_);
+  std::exception_ptr submit_error_ I2A_GUARDED_BY(submit_error_mu_);
 };
 
 }  // namespace i2a::util

@@ -1,0 +1,71 @@
+// Positive control for the thread-safety negative cases: the same
+// vocabulary used *correctly* must compile warning-clean under Clang
+// `-Wthread-safety -Werror=thread-safety`. This exercises every
+// primitive the serving core relies on — scoped acquire/release via
+// MutexLock, mid-scope unlock()/relock() (the backpressure stall
+// shape), try_lock with I2A_TRY_ACQUIRE, CondVar::wait under
+// I2A_REQUIRES, a private _locked helper called from a locked scope,
+// and I2A_EXCLUDES on the public entry points. If this control fails,
+// the rejections reported for ts_guarded_unlocked / ts_requires_uncalled
+// are meaningless (the toolchain, not the analysis, is broken).
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Channel {
+ public:
+  void push(int v) I2A_EXCLUDES(mu_) {
+    i2a::util::MutexLock lock(mu_);
+    value_ = v;
+    full_ = true;
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+  int pop() I2A_EXCLUDES(mu_) {
+    i2a::util::MutexLock lock(mu_);
+    while (!full_) cv_.wait(mu_);
+    full_ = false;
+    return take_locked();
+  }
+
+  bool try_peek(int& out) I2A_EXCLUDES(mu_) {
+    if (!mu_.try_lock()) return false;
+    out = value_;
+    mu_.unlock();
+    return true;
+  }
+
+  // The wait-then-work shape: release mid-scope, notify unlocked,
+  // reacquire, keep working — all four MutexLock transitions.
+  void reset() I2A_EXCLUDES(mu_) {
+    i2a::util::MutexLock lock(mu_);
+    full_ = false;
+    lock.unlock();
+    cv_.notify_all();
+    lock.lock();
+    value_ = 0;
+  }
+
+ private:
+  int take_locked() I2A_REQUIRES(mu_) { return value_; }
+
+  i2a::util::Mutex mu_;
+  i2a::util::CondVar cv_;
+  int value_ I2A_GUARDED_BY(mu_) = 0;
+  bool full_ I2A_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Channel ch;
+  ch.push(42);
+  int out = 0;
+  const bool peeked = ch.try_peek(out);
+  const int v = ch.pop();
+  ch.reset();
+  return (peeked && out == 42 && v == 42) ? 0 : 1;
+}

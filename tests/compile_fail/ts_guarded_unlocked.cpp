@@ -1,0 +1,25 @@
+// Negative thread-safety case: writing an `I2A_GUARDED_BY` member
+// without holding its mutex. Under Clang `-Wthread-safety
+// -Werror=thread-safety` this TU must be REJECTED — if it compiles, the
+// annotation vocabulary (util/thread_annotations.hpp) has stopped
+// expanding to real attributes and the whole-tree thread-safety leg is
+// proving nothing. Checked at configure time by tests/CMakeLists.txt,
+// Clang configurations only (the macros are no-ops elsewhere).
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  i2a::util::Mutex mu;
+  int value I2A_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 1;  // unlocked write to guarded state — must not compile
+  return c.value;
+}

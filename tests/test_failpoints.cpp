@@ -34,6 +34,7 @@
 #include <exception>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algebra/pairs.hpp"
@@ -413,6 +414,100 @@ void test_repeated_background_failures() {
                           oracle_prefix(n, batches, batches.size())));
 }
 
+/// The pending_error() interleaving the sweep only grazes: a snapshot
+/// pinned in the window *between* the error-queue push (the background
+/// merge failed) and the next ingest (the delivery point) must peek the
+/// error — repeatedly, without consuming it — and the subsequent ingest
+/// must still deliver it exactly once with the batch unconsumed. Run
+/// against both builder shapes; for the sharded builder, "exactly once
+/// across shards" means the fused snapshot reports the one failing
+/// shard's error and the whole epoch stays untorn on the rejected
+/// ingest.
+template <typename AnyBuilder>
+void pending_error_window_run(AnyBuilder& builder,
+                              const std::vector<std::vector<graph::Edge>>&
+                                  batches,
+                              bool deterministic) {
+  const char* site = "builder.ladder.splice";
+  builder.ingest(batches[0]);
+  {
+    util::ScopedFailpoint fp(site, Sched::once());
+    // Two runs of equal weight: this publish plans the merge whose
+    // splice point is armed. Workerless pools run (and fail) it inside
+    // ingest; worker pools race it with us, so poll — inside the armed
+    // scope — until the failure lands in the error queue.
+    builder.ingest(batches[1]);
+    while (builder.snapshot().pending_error() == nullptr) {
+      if (deterministic) {
+        CHECK(!"workerless pool: error must be queued before ingest returns");
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+  // The window: error queued, no ingest yet. Peeks are non-destructive —
+  // every snapshot in the window sees the failure, and earlier pins are
+  // unaffected.
+  const auto pin = builder.snapshot();
+  CHECK(pin.pending_error() != nullptr);
+  CHECK(builder.snapshot().pending_error() != nullptr);
+  CHECK(pin.pending_error() != nullptr);  // the pin's own peek is stable
+  // Delivery: the next ingest throws exactly once and consumes nothing.
+  const std::uint64_t epoch = builder.stats().batches;
+  CHECK_EQ(epoch, 2u);
+  bool threw = false;
+  try {
+    builder.ingest(batches[2]);
+  } catch (...) {
+    threw = true;
+  }
+  CHECK(threw);
+  CHECK_EQ(builder.stats().batches, epoch);  // no shard/epoch advanced
+  // Exactly once: the queue is now empty — the retry succeeds and a
+  // fresh snapshot is clean.
+  builder.ingest(batches[2]);
+  CHECK_EQ(builder.stats().batches, epoch + 1);
+  CHECK(builder.snapshot().pending_error() == nullptr);
+  builder.ingest(std::vector<graph::Edge>{});  // replan the parked chain
+  builder.drain();
+  CHECK(builder.snapshot().pending_error() == nullptr);
+  CHECK(csr_bitwise_equal(
+      builder.adjacency(),
+      oracle_prefix(builder.num_vertices(), batches, 3)));
+}
+
+void test_pending_error_window() {
+  const PT p{};
+  const index_t n = 24;
+  const auto g = fail_graph(n, 160, 1234);
+  const auto batches = make_batches(g, 16);
+  util::ThreadPool workerless(1);
+  util::ThreadPool workers(3);
+  {  // single builder, deterministic: the merge fails inside ingest
+    Builder b(n, p, stream::Weighting::kUnweighted, sparse::SpGemmAlgo::kAuto,
+              &workerless, stream::Compaction::kBackground);
+    pending_error_window_run(b, batches, true);
+  }
+  {  // single builder, real workers: the window opens asynchronously
+    Builder b(n, p, stream::Weighting::kUnweighted, sparse::SpGemmAlgo::kAuto,
+              &workers, stream::Compaction::kBackground);
+    pending_error_window_run(b, batches, false);
+  }
+  {  // sharded: one shard fails, the fused snapshot reports it, the
+     // rejected ingest leaves every shard at the old epoch
+    Sharded sb(n, 3, p, stream::Weighting::kUnweighted,
+               sparse::SpGemmAlgo::kAuto, &workerless,
+               stream::Compaction::kBackground);
+    pending_error_window_run(sb, batches, true);
+  }
+  {  // sharded with real workers
+    Sharded sb(n, 3, p, stream::Weighting::kUnweighted,
+               sparse::SpGemmAlgo::kAuto, &workers,
+               stream::Compaction::kBackground);
+    pending_error_window_run(sb, batches, false);
+  }
+}
+
 /// Tentpole satellite: max_pending_merges = 0 must hold the invariant
 /// "the ladder is settled after every ingest returns" regardless of
 /// background-task timing — the writer stalls and settles inline
@@ -610,6 +705,7 @@ int main() {
   test_expected_sites();
   test_sweep();
   test_repeated_background_failures();
+  test_pending_error_window();
   test_backpressure_budget_zero();
   test_backpressure_sharded();
   test_submit_fallback_events();

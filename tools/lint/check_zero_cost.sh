@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Zero-runtime-cost check for the thread-safety annotations
+# (util/thread_annotations.hpp): every I2A_* macro expands to a pure
+# Clang attribute, consumed at analysis time — so Release object code
+# must be BYTE-IDENTICAL with and without them. This compiles the
+# all-headers hygiene TU (the complete public surface, including every
+# annotated concurrency header) twice at -O2 — once as-is, once with
+# I2A_DISABLE_THREAD_ANNOTATIONS forcing every macro to expand to
+# nothing — and byte-compares the objects. The CI thread-safety leg
+# runs this and records the result in its log.
+#
+# Usage: CXX=clang++-18 tools/lint/check_zero_cost.sh
+set -euo pipefail
+
+CXX="${CXX:-clang++}"
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/i2a_zero_cost.XXXXXX")"
+trap 'rm -rf "$OUT"' EXIT
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "check_zero_cost: CXX=$CXX is not clang — the annotations only" \
+       "expand there, so the comparison would be vacuous" >&2
+  exit 2
+fi
+
+FLAGS=(-std=c++20 -O2 -c -I "$ROOT/include/i2a")
+
+"$CXX" "${FLAGS[@]}" "$ROOT/tools/all_headers.cpp" \
+    -o "$OUT/with_annotations.o"
+"$CXX" "${FLAGS[@]}" -DI2A_DISABLE_THREAD_ANNOTATIONS \
+    "$ROOT/tools/all_headers.cpp" -o "$OUT/without_annotations.o"
+
+if cmp -s "$OUT/with_annotations.o" "$OUT/without_annotations.o"; then
+  size=$(wc -c < "$OUT/with_annotations.o")
+  echo "zero-cost check OK: $CXX -O2 object code is byte-identical with" \
+       "and without thread-safety annotations (${size} bytes)"
+else
+  echo "zero-cost check FAILED: annotations changed generated code —" \
+       "something in util/thread_annotations.hpp or util/sync.hpp is no" \
+       "longer attribute-only" >&2
+  cmp "$OUT/with_annotations.o" "$OUT/without_annotations.o" >&2 || true
+  exit 1
+fi

@@ -1,0 +1,13 @@
+// Seeded violation for rule `bare-mutex-member`: a raw std::mutex
+// member the thread-safety analysis cannot see. Every mutex in the tree
+// must be a util::Mutex (the annotated capability wrapper).
+#pragma once
+
+#include <mutex>
+
+struct Ladder {
+  // lint-expect: bare-mutex-member
+  mutable std::mutex mu;
+
+  int runs = 0;
+};

@@ -1,0 +1,15 @@
+// Seeded violation for rule `commit-noexcept`: a commit-phase function
+// without the noexcept declaration the two-phase publish contract
+// requires. The self-test fails if the linter misses this.
+#pragma once
+
+struct Prepared {
+  int delta = 0;
+};
+
+struct Builder {
+  // lint-expect: commit-noexcept
+  void commit_publish(Prepared&& prep) { applied += prep.delta; }
+
+  int applied = 0;
+};

@@ -1,0 +1,18 @@
+// Clean twin for rule `commit-noexcept`: the commit phase is noexcept,
+// and a *call* to a commit function (not a declaration) must not be
+// flagged — the self-test fails on any finding in this file.
+#pragma once
+
+struct Prepared {
+  int delta = 0;
+};
+
+struct Builder {
+  void commit_publish(Prepared&& prep) noexcept { applied += prep.delta; }
+
+  int applied = 0;
+};
+
+inline void publish_all(Builder& b, Prepared&& prep) {
+  b.commit_publish(static_cast<Prepared&&>(prep));
+}

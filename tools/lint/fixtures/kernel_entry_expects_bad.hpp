@@ -1,0 +1,12 @@
+// Seeded violation for rule `kernel-entry-expects`: a kernel entry
+// point whose body never validates its inputs with I2A_EXPECTS — the
+// kernel-boundary contract (DESIGN.md) says validation happens at the
+// entry, not in callers.
+#pragma once
+
+#define I2A_EXPECTS(cond, msg) static_cast<void>(0)
+
+// lint-expect: kernel-entry-expects
+inline int spgemm(int n) {
+  return n * 2;
+}

@@ -1,0 +1,21 @@
+// Seeded violation for rule `sharedptr-copy-in-hot-loop`: a by-value
+// shared_ptr inside a row-fold inner loop — one atomic refcount bump
+// per row, a shared cache line bounced across every reader thread.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+struct Csr {
+  int nnz = 0;
+};
+
+inline int fold_row(const std::vector<std::shared_ptr<const Csr>>& runs) {
+  int total = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    // lint-expect: sharedptr-copy-in-hot-loop
+    std::shared_ptr<const Csr> pinned = runs[i];
+    total += pinned->nnz;
+  }
+  return total;
+}

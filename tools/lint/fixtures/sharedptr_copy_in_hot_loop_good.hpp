@@ -1,0 +1,30 @@
+// Clean twin for rule `sharedptr-copy-in-hot-loop`: the caller's
+// handles already pin the runs, so the loop holds raw pointers and
+// references — no refcount traffic. References *to* shared_ptr and
+// shared_ptr nested inside a by-reference container type are fine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+struct Csr {
+  int nnz = 0;
+};
+
+inline int fold_row(const std::vector<std::shared_ptr<const Csr>>& runs) {
+  int total = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Csr* pinned = runs[i].get();
+    total += pinned->nnz;
+  }
+  return total;
+}
+
+inline int for_each_in_row(
+    const std::vector<std::shared_ptr<const Csr>>& runs) {
+  int total = 0;
+  for (const std::shared_ptr<const Csr>& run : runs) {
+    total += run->nnz;
+  }
+  return total;
+}
