@@ -21,11 +21,17 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <span>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "algebra/pairs.hpp"
 #include "graph/incidence.hpp"
 #include "stream/adjacency_builder.hpp"
+#include "util/io.hpp"
 
 namespace {
 
@@ -106,6 +112,65 @@ void BM_StreamServe(benchmark::State& state) {
   state.counters["final_nnz"] = static_cast<double>(final_nnz);
 }
 BENCHMARK(BM_StreamServe)->Arg(8)->Arg(32)->Arg(128);
+
+/// The acknowledged-durability tax (DESIGN.md §12): the BM_StreamIngest
+/// workload at 64 batches with the write-ahead log in each durability
+/// mode. Arg 0 is the in-memory baseline (no WAL — the pre-durability
+/// path, bit for bit), 1 = Durability::kNone (append to page cache,
+/// never fsync), 2 = kAsync (fsync only on segment rotation and close),
+/// 3 = kFsyncEachBatch (fsync before ingest returns: acknowledged ⇒
+/// durable). The committed BENCH_stream.json records what each
+/// acknowledgement level costs over the in-memory builder; wal_bytes is
+/// the log volume written per run.
+void BM_IngestDurable(benchmark::State& state) {
+  const auto g = bench::rmat_graph(kScale, kEdgeFactor, 42);
+  const auto batches = split_batches(g.edges(), 64);
+  const algebra::PlusTimes<double> p;
+  const auto mode = static_cast<int>(state.range(0));
+  std::uint64_t wal_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir;
+    stream::Options opts;
+    if (mode != 0) {
+      dir = "/tmp/i2a-bench-wal-XXXXXX";
+      if (::mkdtemp(dir.data()) == nullptr) {
+        state.SkipWithError("mkdtemp failed");
+        break;
+      }
+      opts.wal_dir = dir;
+      opts.durability = mode == 1   ? stream::Durability::kNone
+                        : mode == 2 ? stream::Durability::kAsync
+                                    : stream::Durability::kFsyncEachBatch;
+    }
+    state.ResumeTiming();
+    {
+      stream::AdjacencyBuilder<algebra::PlusTimes<double>> b(g.num_vertices(),
+                                                             p, opts);
+      for (const auto& batch : batches) b.ingest(batch);
+      benchmark::DoNotOptimize(b.adjacency().nnz());
+    }
+    state.PauseTiming();
+    if (mode != 0) {
+      for (const auto& name : util::list_dir(dir)) {
+        const std::string path = dir + "/" + name;
+        struct stat st {};
+        if (::stat(path.c_str(), &st) == 0) {
+          wal_bytes += static_cast<std::uint64_t>(st.st_size);
+        }
+        util::remove_file(path);
+      }
+      ::rmdir(dir.c_str());
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edges().size()));
+  state.counters["wal_bytes"] =
+      static_cast<double>(wal_bytes) /
+      std::max(1.0, static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_IngestDurable)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 /// The baseline the builder replaces: after every batch, rebuild the
 /// adjacency from scratch over all edges seen so far (incidence assembly

@@ -100,8 +100,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -112,9 +114,12 @@
 #include "sparse/csr.hpp"
 #include "sparse/merge.hpp"
 #include "sparse/spgemm.hpp"
+#include "stream/checkpoint.hpp"
 #include "stream/pinned_snapshot.hpp"
+#include "stream/wal.hpp"
 #include "util/contract.hpp"
 #include "util/failpoint.hpp"
+#include "util/io.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -145,6 +150,42 @@ enum class Compaction {
 inline constexpr std::size_t kUnboundedPendingMerges =
     static_cast<std::size_t>(-1);
 
+/// Aggregated construction options for `AdjacencyBuilder` /
+/// `ShardedBuilder`. The first block mirrors the positional constructor
+/// parameters; the second configures the durability subsystem
+/// (DESIGN.md §12) — all of it inert while `wal_dir` is empty.
+struct Options {
+  Weighting weighting = Weighting::kUnweighted;
+  sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kAuto;
+  util::ThreadPool* pool = nullptr;
+  Compaction compaction = Compaction::kInline;
+  std::size_t max_pending_merges = kUnboundedPendingMerges;
+
+  /// Directory for WAL segments + checkpoints. Empty = in-memory only
+  /// (no logging, no recovery — the pre-durability behavior, bit for
+  /// bit). A fresh builder refuses a directory that already holds
+  /// durable state: that data is recoverable, so constructing over it
+  /// would be silent data loss — use `recover()` instead.
+  std::string wal_dir;
+  /// When an acknowledged batch is durable (see stream/wal.hpp).
+  Durability durability = Durability::kFsyncEachBatch;
+  /// WAL segment rotation threshold.
+  std::uint64_t wal_segment_bytes = 64ULL << 20;
+  /// Write a run-level checkpoint every this many batches via the
+  /// background pool (0 = never). Checkpoints bound replay time and let
+  /// fully-covered WAL segments retire.
+  std::uint64_t checkpoint_every = 0;
+
+  /// Copy with durability stripped — what each shard of a
+  /// `ShardedBuilder` gets (the sharded builder owns the one WAL).
+  Options without_durability() const {
+    Options o = *this;
+    o.wal_dir.clear();
+    o.checkpoint_every = 0;
+    return o;
+  }
+};
+
 /// Maintains A over a batched edge stream for one operator pair.
 /// Writer calls (`ingest`) must be externally serialized; `snapshot`,
 /// `adjacency`, `stats`, `num_levels` and `drain` are safe from any
@@ -169,6 +210,7 @@ class AdjacencyBuilder {
                                         ///< (computed at stats() time)
     std::uint64_t backpressure_events = 0;  ///< over-budget writer stalls
                                             ///< + submit-failure fallbacks
+    std::uint64_t checkpoints = 0;      ///< durable checkpoints written
     std::uint64_t failpoints_hit = 0;   ///< process-wide failpoint fires
                                         ///< (always 0 in production
                                         ///< builds; see util/failpoint.hpp)
@@ -184,10 +226,23 @@ class AdjacencyBuilder {
                             Compaction compaction = Compaction::kInline,
                             std::size_t max_pending_merges =
                                 kUnboundedPendingMerges)
-      : n_(num_vertices), p_(p), weighting_(weighting), algo_(algo),
-        pool_(pool), compaction_(compaction),
-        max_pending_merges_(max_pending_merges),
-        ladder_(std::make_shared<Ladder>()) {
+      : AdjacencyBuilder(num_vertices, std::move(p),
+                         Options{weighting, algo, pool, compaction,
+                                 max_pending_merges, {},
+                                 Durability::kFsyncEachBatch, 64ULL << 20,
+                                 0}) {}
+
+  /// Options-struct constructor — the durable entry point. A non-empty
+  /// `opts.wal_dir` attaches a fresh WAL (segment 0, epoch 0); the
+  /// directory must not already hold durable state (use `recover()`).
+  AdjacencyBuilder(index_t num_vertices, P p, const Options& opts)
+      : n_(num_vertices), p_(std::move(p)), weighting_(opts.weighting),
+        algo_(opts.algo), pool_(opts.pool), compaction_(opts.compaction),
+        max_pending_merges_(opts.max_pending_merges),
+        ladder_(std::make_shared<Ladder>()), wal_dir_(opts.wal_dir),
+        durability_(opts.durability),
+        wal_segment_bytes_(opts.wal_segment_bytes),
+        checkpoint_every_(opts.checkpoint_every) {
     if (num_vertices < 0) {
       throw std::invalid_argument("AdjacencyBuilder: negative vertex count");
     }
@@ -196,6 +251,29 @@ class AdjacencyBuilder {
       // rather than silently never compacting.
       compaction_ = Compaction::kInline;
     }
+    if (!wal_dir_.empty()) {
+      manifest_ = make_manifest(/*shard_count=*/1);
+      util::ensure_dir(wal_dir_);
+      require_no_durable_state(wal_dir_);
+      wal_.emplace(wal_dir_, manifest_, durability_, wal_segment_bytes_,
+                   /*seqno=*/0, /*start_epoch=*/0);
+    }
+  }
+
+  /// Rebuild a builder from the durable state in `opts.wal_dir`: load
+  /// the newest fully-valid checkpoint (if any), replay the WAL suffix
+  /// through the normal publish path — repairing a torn tail in the
+  /// last segment — and attach a fresh segment for new batches. Refuses
+  /// mismatched durable state (wrong algebra instantiation, vertex
+  /// count, shard count, or weighting) with `RecoveryError`; throws
+  /// `RecoveryError` on mid-log corruption or a broken epoch chain.
+  /// Idempotent: recovering an already-recovered directory replays the
+  /// identical batch sequence. An empty (or absent) directory yields a
+  /// fresh builder at epoch 0. Cost counters other than `batches` and
+  /// `edges` restart at zero for the checkpointed prefix.
+  static AdjacencyBuilder recover(index_t num_vertices, P p,
+                                  const Options& opts) {
+    return AdjacencyBuilder(RecoverTag{}, num_vertices, std::move(p), opts);
   }
 
   // One ladder, one owner: copying would alias the mutable run list.
@@ -205,13 +283,41 @@ class AdjacencyBuilder {
   AdjacencyBuilder(AdjacencyBuilder&&) noexcept = default;
   AdjacencyBuilder& operator=(AdjacencyBuilder&&) noexcept = default;
 
-  /// Destruction is safe while a background compaction is still in
-  /// flight: the task owns the ladder via shared_ptr and the pool drains
-  /// queued tasks before its own teardown. (The pool must simply outlive
-  /// every call into this builder, as for all pool users.) A still-queued
-  /// failure that nothing ever drains dies with the ladder — deliberate:
-  /// the owner chose not to look.
-  ~AdjacencyBuilder() = default;
+  /// Destruction settles first: any in-flight background compaction or
+  /// checkpoint completes (the tasks own the ladder via shared_ptr and
+  /// the pool must outlive the builder, as for all pool users), so no
+  /// task ever observes a dead builder and no error can arrive after
+  /// the check below. A queued background failure that nothing drained
+  /// is then an asserted contract violation in checked builds — the
+  /// owner must either `drain()` (deliver) or `dismiss_pending_errors()`
+  /// (explicitly discard) before destruction; silently dropping a
+  /// failure is not an option the API offers anymore.
+  ~AdjacencyBuilder() {
+    if (!ladder_) return;  // moved-from
+    util::MutexLock lock(ladder_->mu);
+    while (ladder_->compacting || ladder_->checkpointing) {
+      ladder_->cv.wait(ladder_->mu);
+    }
+    I2A_ASSERT(ladder_->errors.empty(),
+               "AdjacencyBuilder destroyed with undelivered background "
+               "errors; drain() or dismiss_pending_errors() first");
+  }
+
+  /// Settle in-flight background work, then acknowledge-and-discard
+  /// every queued background failure without rethrowing. Returns the
+  /// number discarded. This is the explicit escape hatch the destructor
+  /// contract points at: "I know this builder may hold failures and I
+  /// am choosing not to look".
+  std::size_t dismiss_pending_errors() noexcept I2A_EXCLUDES(ladder_->mu) {
+    if (!ladder_) return 0;
+    util::MutexLock lock(ladder_->mu);
+    while (ladder_->compacting || ladder_->checkpointing) {
+      ladder_->cv.wait(ladder_->mu);
+    }
+    const std::size_t n = ladder_->errors.size();
+    ladder_->errors.clear();
+    return n;
+  }
 
   index_t num_vertices() const { return n_; }
 
@@ -234,22 +340,31 @@ class AdjacencyBuilder {
 
   /// Ingest one batch: rethrow any pending background-merge failure
   /// (before touching the batch), validate, build the batch's delta CSR
-  /// (sort-free incidence + SpGEMM, no ladder lock held), publish it
-  /// onto the run list, and apply backpressure if configured.
+  /// (sort-free incidence + SpGEMM, no ladder lock held), log it to the
+  /// WAL (durable builders only), publish it onto the run list, and
+  /// apply backpressure if configured.
   ///
   /// Strong guarantee: if this throws — validation, a pending deferred
-  /// error, staging, or an inline-mode merge — the batch was not
-  /// consumed and the builder (runs, stats, epoch) is unchanged.
+  /// error, staging, a WAL append (which rolls its own bytes back), or
+  /// an inline-mode merge — the batch was not consumed and the builder
+  /// (runs, stats, epoch, log) is unchanged. Under
+  /// `Durability::kFsyncEachBatch` a normal return additionally means
+  /// the batch is on stable storage (the acknowledged-durability
+  /// contract the crash harness holds recovery to).
   void ingest(std::span<const graph::Edge> batch) {
     rethrow_pending_error();
-    for (const graph::Edge& e : batch) {
-      if (e.src < 0 || e.src >= n_ || e.dst < 0 || e.dst >= n_) {
-        throw std::out_of_range("AdjacencyBuilder::ingest: edge endpoint "
-                                "out of range");
-      }
-    }
+    validate_batch(batch, "AdjacencyBuilder");
     Prepared prep = prepare_publish(stage(batch), batch.size());
+    if (wal_) {
+      std::uint64_t epoch = 0;
+      {
+        util::MutexLock lock(ladder_->mu);
+        epoch = ladder_->stats.batches + 1;
+      }
+      wal_->append(epoch, batch);
+    }
     commit_publish(std::move(prep));
+    maybe_checkpoint();
     maybe_backpressure();
   }
 
@@ -285,15 +400,18 @@ class AdjacencyBuilder {
     return snapshot().materialize(pool_);
   }
 
-  /// Block until no background compaction is in flight and no further
-  /// one is scheduled (no-op in inline mode), then rethrow the oldest
-  /// still-undelivered background-merge failure, if any — each queued
-  /// failure is delivered exactly once across `drain()` and `ingest()`.
+  /// Block until no background compaction or checkpoint is in flight
+  /// and no further one is scheduled (no-op in inline mode), then
+  /// rethrow the oldest still-undelivered background failure, if any —
+  /// each queued failure is delivered exactly once across `drain()` and
+  /// `ingest()`.
   void drain() const I2A_EXCLUDES(ladder_->mu) {
     std::exception_ptr err;
     {
       util::MutexLock lock(ladder_->mu);
-      while (ladder_->compacting) ladder_->cv.wait(ladder_->mu);
+      while (ladder_->compacting || ladder_->checkpointing) {
+        ladder_->cv.wait(ladder_->mu);
+      }
       err = pop_error_locked();
     }
     if (err) std::rethrow_exception(err);
@@ -323,6 +441,10 @@ class AdjacencyBuilder {
     Stats stats I2A_GUARDED_BY(mu);
     /// True while a compaction holds the token.
     bool compacting I2A_GUARDED_BY(mu) = false;
+    /// True while a background checkpoint is in flight (at most one; a
+    /// ShardedBuilder parks its cross-shard checkpoint token on shard
+    /// 0's ladder, so drain/destruction wait on it through the same cv).
+    bool checkpointing I2A_GUARDED_BY(mu) = false;
     /// Failed background merges, oldest first; each entry is delivered
     /// exactly once (drain / ingest pop, snapshot peeks).
     std::vector<std::exception_ptr> errors I2A_GUARDED_BY(mu);
@@ -343,6 +465,176 @@ class AdjacencyBuilder {
     std::uint64_t delta_nnz = 0;
     std::size_t batch_edges = 0;
   };
+
+  /// Tag-dispatched recovery constructor (see `recover`). Delegates to
+  /// the normal constructor with durability stripped (so no fresh WAL
+  /// is attached yet), restores the checkpoint, replays the WAL suffix
+  /// through the normal publish path, then attaches a fresh segment.
+  struct RecoverTag {};
+  AdjacencyBuilder(RecoverTag, index_t num_vertices, P p, const Options& opts)
+      : AdjacencyBuilder(num_vertices, std::move(p),
+                         opts.without_durability()) {
+    if (opts.wal_dir.empty()) {
+      throw std::invalid_argument("AdjacencyBuilder::recover: empty wal_dir");
+    }
+    wal_dir_ = opts.wal_dir;
+    durability_ = opts.durability;
+    wal_segment_bytes_ = opts.wal_segment_bytes;
+    checkpoint_every_ = opts.checkpoint_every;
+    manifest_ = make_manifest(/*shard_count=*/1);
+    util::ensure_dir(wal_dir_);
+    std::uint64_t start_epoch = 0;
+    if (auto ckpt = load_newest_checkpoint<value_type>(wal_dir_, manifest_)) {
+      start_epoch = ckpt->epoch;
+      restore_runs(std::move(ckpt->shards[0]), ckpt->epoch, ckpt->edges[0]);
+    }
+    const WalReplayStats rstats = replay_wal(
+        wal_dir_, manifest_, start_epoch,
+        [this](std::uint64_t, const std::vector<graph::Edge>& edges) {
+          // Injection site: one evaluation per replayed batch, so the
+          // sweep can kill recovery itself mid-replay and prove a
+          // second recover() of the same directory still succeeds.
+          I2A_FAILPOINT("recover.replay");
+          ingest_unlogged(
+              std::span<const graph::Edge>(edges.data(), edges.size()));
+        });
+    std::uint64_t epoch_now = 0;
+    {
+      util::MutexLock lock(ladder_->mu);
+      epoch_now = ladder_->stats.batches;
+    }
+    wal_.emplace(wal_dir_, manifest_, durability_, wal_segment_bytes_,
+                 rstats.any_segment ? rstats.last_seqno + 1 : 0, epoch_now);
+  }
+
+  /// The durable-directory identity this instantiation writes/expects.
+  WalManifest make_manifest(std::uint32_t shard_count) const {
+    return WalManifest{algebra_tag<P>(),
+                       static_cast<std::uint64_t>(n_), shard_count,
+                       static_cast<std::uint32_t>(weighting_)};
+  }
+
+  void validate_batch(std::span<const graph::Edge> batch,
+                      const char* who) const {
+    for (const graph::Edge& e : batch) {
+      if (e.src < 0 || e.src >= n_ || e.dst < 0 || e.dst >= n_) {
+        throw std::out_of_range(std::string(who) +
+                                "::ingest: edge endpoint out of range");
+      }
+    }
+  }
+
+  /// The full publish path minus WAL append and checkpoint scheduling —
+  /// what replay feeds recorded batches through (logging them again
+  /// would duplicate frames).
+  void ingest_unlogged(std::span<const graph::Edge> batch) {
+    rethrow_pending_error();
+    validate_batch(batch, "AdjacencyBuilder");
+    Prepared prep = prepare_publish(stage(batch), batch.size());
+    commit_publish(std::move(prep));
+    maybe_backpressure();
+  }
+
+  /// Install a checkpoint's run list into an untouched ladder
+  /// (recovery only).
+  void restore_runs(std::vector<CheckpointRun<value_type>>&& runs,
+                    std::uint64_t epoch, std::uint64_t edges)
+      I2A_EXCLUDES(ladder_->mu) {
+    util::MutexLock lock(ladder_->mu);
+    I2A_EXPECTS(ladder_->runs.empty() && ladder_->stats.batches == 0,
+                "restore_runs: ladder already has state");
+    ladder_->runs.reserve(runs.size());
+    for (CheckpointRun<value_type>& r : runs) {
+      ladder_->runs.push_back(Run{std::move(r.csr), r.weight});
+    }
+    ladder_->stats.batches = epoch;
+    ladder_->stats.edges = edges;
+  }
+
+  /// If a checkpoint boundary was just crossed and none is in flight,
+  /// pin the run list + counters under the lock and dispatch the
+  /// background checkpoint task. Failures surface through the
+  /// deferred-error queue (never synchronously from ingest): the batch
+  /// is already committed, so the strong-guarantee channel is closed —
+  /// same classification as a background-merge failure.
+  void maybe_checkpoint() I2A_EXCLUDES(ladder_->mu) {
+    if (!wal_ || checkpoint_every_ == 0) return;
+    std::uint64_t epoch = 0;
+    std::uint64_t edges = 0;
+    std::vector<std::vector<CheckpointRun<value_type>>> shard_runs(1);
+    {
+      util::MutexLock lock(ladder_->mu);
+      epoch = ladder_->stats.batches;
+      if (epoch == 0 || epoch % checkpoint_every_ != 0) return;
+      if (ladder_->checkpointing) return;  // one in flight; skip boundary
+      shard_runs[0].reserve(ladder_->runs.size());
+      for (const Run& r : ladder_->runs) {
+        shard_runs[0].push_back(CheckpointRun<value_type>{r.csr, r.weight});
+      }
+      edges = ladder_->stats.edges;
+      ladder_->checkpointing = true;  // the last fallible step was above
+    }
+    dispatch_checkpoint(ladder_, pool_, wal_dir_, manifest_, epoch,
+                        std::move(shard_runs), {edges}, wal_->seqno());
+  }
+
+  /// Build and hand off the checkpoint task. `lad` must already hold
+  /// the checkpoint token; the task clears it, signals the cv, bumps
+  /// `stats.checkpoints` on success, and queues failures as deferred
+  /// errors. A failed submit runs the task inline (absorbed, counted in
+  /// `backpressure_events`, like the compaction-submit fallback).
+  /// Static and `this`-free: the task may outlive the builder object
+  /// (it shares the ladder), and the WAL is referenced only through
+  /// captured values (dir + active seqno).
+  static void dispatch_checkpoint(
+      std::shared_ptr<Ladder> lad, util::ThreadPool* pool, std::string dir,
+      WalManifest manifest, std::uint64_t epoch,
+      std::vector<std::vector<CheckpointRun<value_type>>> shard_runs,
+      std::vector<std::uint64_t> edges, std::uint64_t active_seqno)
+      I2A_EXCLUDES(lad->mu) {
+    auto task = [lad, dir = std::move(dir), manifest = std::move(manifest),
+                 epoch, shard_runs = std::move(shard_runs),
+                 edges = std::move(edges), active_seqno]() {
+      std::exception_ptr failure;
+      try {
+        write_checkpoint<value_type>(dir, manifest, epoch, shard_runs, edges);
+        gc_checkpoints(dir, epoch);
+        Wal::retire_segments(dir, epoch, active_seqno);
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      {
+        util::MutexLock lock(lad->mu);
+        if (failure) {
+          try {
+            lad->errors.push_back(failure);
+          } catch (...) {
+            // Reporting itself failed on allocation (prepare reserves a
+            // spare slot to make this a corner of a corner). The token
+            // release below must still happen, so the failure is
+            // dropped here — the checkpoint file was already cleaned
+            // up, so no durable state is inconsistent.
+          }
+        } else {
+          ++lad->stats.checkpoints;
+        }
+        lad->checkpointing = false;
+      }
+      lad->cv.notify_all();
+    };
+    bool fallback = (pool == nullptr);
+    if (pool != nullptr) {
+      try {
+        auto backup = task;  // submit may consume its argument on throw
+        pool->submit(std::move(backup));
+      } catch (...) {
+        fallback = true;
+        util::MutexLock lock(lad->mu);
+        ++lad->stats.backpressure_events;
+      }
+    }
+    if (fallback) task();  // the task body delivers its own failures
+  }
 
   void rethrow_pending_error() I2A_EXCLUDES(ladder_->mu) {
     std::exception_ptr err;
@@ -713,6 +1005,14 @@ class AdjacencyBuilder {
   Compaction compaction_;
   std::size_t max_pending_merges_;
   std::shared_ptr<Ladder> ladder_;
+  // Durability (inert unless wal_ is engaged; writer-thread-only, like
+  // every other ingest-path member).
+  std::string wal_dir_;
+  Durability durability_ = Durability::kFsyncEachBatch;
+  std::uint64_t wal_segment_bytes_ = 64ULL << 20;
+  std::uint64_t checkpoint_every_ = 0;
+  WalManifest manifest_;
+  std::optional<Wal> wal_;
 };
 
 }  // namespace i2a::stream

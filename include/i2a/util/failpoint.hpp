@@ -196,6 +196,39 @@ class FailpointRegistry {
     if (it != sites_.end()) it->second.schedule = Schedule{};
   }
 
+  /// Opaque snapshot of a site's armed schedule and its progress
+  /// (evaluations counted since arming), captured by `exchange` and
+  /// reinstated by `restore`. Lets nested `ScopedFailpoint`s on the same
+  /// site compose: last-wins while the inner scope lives, the outer
+  /// schedule resumes — including a partially-counted nth() — on unwind.
+  struct ArmedState {
+    Schedule schedule;
+    std::uint64_t armed_evaluations = 0;
+  };
+
+  /// Arm `name` with `schedule` and return the state it displaced.
+  ArmedState exchange(const std::string& name, Schedule schedule)
+      I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    Site& site = sites_[name];
+    const ArmedState prior{site.schedule, site.armed_evaluations};
+    site.schedule = schedule;
+    site.armed_evaluations = 0;
+    return prior;
+  }
+
+  /// Reinstate a state captured by `exchange`. A site that was never
+  /// registered is ignored (cannot happen via ScopedFailpoint, whose
+  /// constructor registers it).
+  void restore(const std::string& name, const ArmedState& prior)
+      I2A_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    const auto it = sites_.find(name);
+    if (it == sites_.end()) return;
+    it->second.schedule = prior.schedule;
+    it->second.armed_evaluations = prior.armed_evaluations;
+  }
+
   void disarm_all() I2A_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     for (auto& [name, site] : sites_) site.schedule = Schedule{};
@@ -254,16 +287,22 @@ class FailpointRegistry {
 /// RAII arm/disarm: the site is armed for exactly this scope, so an
 /// early return or a throwing CHECK cannot leak an armed failpoint into
 /// unrelated code.
+///
+/// Nesting two scopes on the *same* site is defined as last-wins with
+/// restore-on-unwind: the inner scope's schedule replaces the outer one
+/// for its lifetime (the outer schedule is paused, its fire-progress
+/// frozen), and when the inner scope unwinds the outer schedule resumes
+/// exactly where it left off. A non-nested scope restores the disarmed
+/// state, i.e. behaves as before.
 class ScopedFailpoint {
  public:
   ScopedFailpoint(std::string name, FailpointRegistry::Schedule schedule)
-      : name_(std::move(name)) {
-    FailpointRegistry::instance().arm(name_, schedule);
-  }
-  // NOLINTNEXTLINE(bugprone-exception-escape): disarm only clears an
-  // existing map entry (find + assign), which cannot throw; the lookup
-  // allocates nothing.
-  ~ScopedFailpoint() { FailpointRegistry::instance().disarm(name_); }
+      : name_(std::move(name)),
+        prior_(FailpointRegistry::instance().exchange(name_, schedule)) {}
+  // NOLINTNEXTLINE(bugprone-exception-escape): restore only assigns into
+  // an existing map entry (find + assign), which cannot throw; the
+  // lookup allocates nothing.
+  ~ScopedFailpoint() { FailpointRegistry::instance().restore(name_, prior_); }
   ScopedFailpoint(const ScopedFailpoint&) = delete;
   ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
 
@@ -271,6 +310,7 @@ class ScopedFailpoint {
 
  private:
   std::string name_;
+  FailpointRegistry::ArmedState prior_;
 };
 
 /// Snapshot of the global fire counter for stats plumbing; 0 when

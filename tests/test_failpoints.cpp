@@ -37,12 +37,15 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "algebra/pairs.hpp"
 #include "graph/generators.hpp"
 #include "graph/incidence.hpp"
 #include "stream/adjacency_builder.hpp"
 #include "stream/sharded_builder.hpp"
 #include "util/failpoint.hpp"
+#include "util/io.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 #include "test_util.hpp"
@@ -97,9 +100,28 @@ sparse::Csr<double> oracle_prefix(
 
 /// The documented site list (sorted, as the registry reports it). The
 /// expected-sites test fails on drift in either direction: a new
-/// fallible site must be added here AND to the sweep, a removed one
-/// must leave.
+/// fallible site must be added here AND to a sweep — the serving sites
+/// to `kSweepSites` below, the durable sites (wal.*, checkpoint.*,
+/// recover.*) to the durable sweep in tests/test_recovery.cpp.
 const std::vector<std::string> kSites = {
+    "builder.background.submit",
+    "builder.ladder.splice",
+    "builder.stage.batch",
+    "checkpoint.write",
+    "incidence.assemble.alloc",
+    "merge.count.scratch",
+    "merge.scatter.alloc",
+    "recover.replay",
+    "spgemm.numeric.alloc",
+    "wal.append.fsync",
+    "wal.append.write",
+};
+
+/// The subset this file's mode-matrix sweep drives. The durable sites
+/// never evaluate in the in-memory builders the sweep uses; their
+/// guarantee classes are swept in test_recovery against durable
+/// builders instead.
+const std::vector<std::string> kSweepSites = {
     "builder.background.submit",
     "builder.ladder.splice",
     "builder.stage.batch",
@@ -196,8 +218,11 @@ void test_registry_mechanics() {
   reg.hit("test.mech.e");  // scope exit disarmed it
 }
 
-/// One clean warm-up workload through every layer, then the registered
-/// library sites (test.* names excluded) must be exactly `kSites`.
+/// One clean warm-up workload through every layer — including a durable
+/// builder with a checkpoint boundary and one recovery pass, so the
+/// wal.*, checkpoint.*, and recover.* sites register — then the
+/// registered library sites (test.* names excluded) must be exactly
+/// `kSites`.
 void test_expected_sites() {
   const PT p{};
   const auto g = fail_graph(16, 80, 7);
@@ -215,6 +240,26 @@ void test_expected_sites() {
     Sharded sb(16, 2, p, stream::Weighting::kUnweighted,
                sparse::SpGemmAlgo::kAuto, nullptr, stream::Compaction::kInline);
     for (const auto& batch : batches) sb.ingest(batch);
+  }
+  {
+    std::string dir = "/tmp/i2a-fp-warmup-XXXXXX";
+    CHECK(::mkdtemp(dir.data()) != nullptr);
+    stream::Options opts;
+    opts.pool = &pool;
+    opts.wal_dir = dir;
+    opts.checkpoint_every = 4;
+    {
+      Builder b(16, p, opts);
+      for (const auto& batch : batches) b.ingest(batch);
+      b.drain();
+    }
+    Builder r = Builder::recover(16, p, opts);
+    CHECK(csr_bitwise_equal(r.adjacency(),
+                            oracle_prefix(16, batches, batches.size())));
+    for (const auto& name : util::list_dir(dir)) {
+      util::remove_file(dir + "/" + name);
+    }
+    ::rmdir(dir.c_str());
   }
   std::vector<std::string> lib;
   for (const auto& s : Reg::instance().sites()) {
@@ -327,7 +372,7 @@ void test_sweep() {
   const auto oracle_full = oracle_prefix(n, batches, batches.size());
   util::ThreadPool workerless(1);  // submit() runs tasks inside ingest
   util::ThreadPool workers(3);
-  for (const auto& site_name : kSites) {
+  for (const auto& site_name : kSweepSites) {
     const char* site = site_name.c_str();
     for (const Kind kind : {Kind::kError, Kind::kBadAlloc}) {
       {  // inline mode, single builder: strong guarantee end to end
@@ -412,6 +457,121 @@ void test_repeated_background_failures() {
   CHECK(csr_bitwise_equal(bg.adjacency(), inl.adjacency()));
   CHECK(csr_bitwise_equal(bg.adjacency(),
                           oracle_prefix(n, batches, batches.size())));
+}
+
+/// Satellite: nested ScopedFailpoint scopes on the SAME site compose as
+/// last-wins with restore-on-unwind. The inner scope's schedule replaces
+/// the outer one for its lifetime; when it unwinds, the outer schedule
+/// resumes with its fire-progress frozen — a partially-counted nth()
+/// continues from where it stopped, it does not restart from zero.
+void test_scoped_rearm_nesting() {
+  auto& reg = Reg::instance();
+  const std::string site = "test.rearm";
+  const std::uint64_t fired_before = reg.fired(site);
+  {
+    // Outer: fire on the 3rd armed evaluation (0-based nth(2)).
+    util::ScopedFailpoint outer(site, Sched::nth(2));
+    reg.hit(site.c_str());  // armed evaluation #0: no fire
+    {
+      // Inner re-arm (last-wins): once(kBadAlloc) displaces the outer
+      // schedule entirely for this scope.
+      util::ScopedFailpoint inner(site, Sched::once(Kind::kBadAlloc));
+      bool bad = false;
+      try {
+        reg.hit(site.c_str());
+      } catch (const std::bad_alloc&) {
+        bad = true;
+      }
+      CHECK(bad);
+      reg.hit(site.c_str());  // once() auto-disarmed: clean
+      reg.hit(site.c_str());  // inner evaluations must not advance outer
+    }
+    // Inner unwound: the outer nth(2) resumes at armed evaluation #1 —
+    // its progress was frozen, not reset by the inner scope's churn.
+    reg.hit(site.c_str());  // armed evaluation #1: no fire
+    bool threw = false;
+    try {
+      reg.hit(site.c_str());  // armed evaluation #2: fires
+    } catch (const util::FailpointError&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+  reg.hit(site.c_str());  // both scopes unwound: site is disarmed
+  CHECK_EQ(reg.fired(site) - fired_before, 2u);  // inner once + outer nth
+  // A non-nested scope restores the disarmed state (the baseline RAII
+  // contract, unchanged).
+  {
+    util::ScopedFailpoint solo(site, Sched::always());
+    bool threw = false;
+    try {
+      reg.hit(site.c_str());
+    } catch (const util::FailpointError&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+  reg.hit(site.c_str());
+  CHECK_EQ(reg.fired(site) - fired_before, 3u);
+}
+
+/// Satellite: the destructor's undelivered-error contract. A builder
+/// holding a queued background failure may not be silently destroyed —
+/// the owner either drains (delivery) or calls dismiss_pending_errors()
+/// (explicit discard, returning the count). Both acknowledged paths must
+/// leave the destructor quiet; dismiss on a clean builder is a no-op.
+void test_destructor_error_contract() {
+  const PT p{};
+  const index_t n = 24;
+  const auto g = fail_graph(n, 96, 555);
+  const auto batches = make_batches(g, 16);  // 6 batches
+  util::ThreadPool workerless(1);
+  const auto mk = [&] {
+    return Builder(n, p, stream::Weighting::kUnweighted,
+                   sparse::SpGemmAlgo::kAuto, &workerless,
+                   stream::Compaction::kBackground);
+  };
+  {  // clean builder: nothing to dismiss, destructor quiet
+    Builder b = mk();
+    for (const auto& batch : batches) b.ingest(batch);
+    b.drain();
+    CHECK_EQ(b.dismiss_pending_errors(), 0u);
+  }
+  {  // queued failure, acknowledged by dismiss: destructor quiet
+    Builder b = mk();
+    b.ingest(batches[0]);  // one settled run at level 0
+    {
+      util::ScopedFailpoint fp("merge.count.scratch", Sched::always());
+      b.ingest(batches[1]);  // carry merge fails inline, failure queued
+    }
+    CHECK(b.snapshot().pending_error() != nullptr);
+    CHECK_EQ(b.dismiss_pending_errors(), 1u);
+    CHECK(b.snapshot().pending_error() == nullptr);
+    CHECK_EQ(b.dismiss_pending_errors(), 0u);  // idempotent
+    // The dismissed chain parked; the builder is still usable and one
+    // empty publish replans it back to full-prefix bytes.
+    for (std::size_t i = 2; i < batches.size(); ++i) b.ingest(batches[i]);
+    b.ingest(std::vector<graph::Edge>{});
+    b.drain();
+    CHECK(csr_bitwise_equal(b.adjacency(),
+                            oracle_prefix(n, batches, batches.size())));
+  }
+  {  // queued failure, acknowledged by drain: the other legal teardown
+    Builder b = mk();
+    b.ingest(batches[0]);
+    {
+      util::ScopedFailpoint fp("merge.count.scratch", Sched::always());
+      b.ingest(batches[1]);
+    }
+    bool threw = false;
+    try {
+      b.drain();
+    } catch (...) {
+      threw = true;
+    }
+    CHECK(threw);
+    CHECK_EQ(b.dismiss_pending_errors(), 0u);  // drain already delivered
+  }
 }
 
 /// The pending_error() interleaving the sweep only grazes: a snapshot
@@ -705,6 +865,8 @@ int main() {
   test_expected_sites();
   test_sweep();
   test_repeated_background_failures();
+  test_scoped_rearm_nesting();
+  test_destructor_error_contract();
   test_pending_error_window();
   test_backpressure_budget_zero();
   test_backpressure_sharded();

@@ -38,10 +38,13 @@
 #include "sparse/merge.hpp"
 #include "sparse/spgemm.hpp"
 #include "stream/adjacency_builder.hpp"
+#include "stream/checkpoint.hpp"
 #include "stream/pinned_snapshot.hpp"
 #include "stream/sharded_builder.hpp"
+#include "stream/wal.hpp"
 #include "util/contract.hpp"
 #include "util/failpoint.hpp"
+#include "util/io.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"

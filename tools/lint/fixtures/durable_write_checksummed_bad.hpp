@@ -1,0 +1,35 @@
+// Seeded violations for rule `durable-write-checksummed`: raw
+// write(2)-family calls on the durable path outside File::write_fully.
+// Durable bytes that bypass the frame writer carry no length prefix and
+// no CRC32C, so a torn or bit-flipped tail is undetectable at recovery.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+#include <unistd.h>
+
+struct BadSegment {
+  int fd = -1;
+  std::FILE* stream = nullptr;
+
+  // The sanctioned site is File::write_fully in util/io.hpp; this is an
+  // unframed sibling that skips the CRC entirely.
+  void append_unframed(const void* data, std::size_t len) {
+    // lint-expect: durable-write-checksummed
+    (void)::write(fd, data, len);
+  }
+
+  // stdio writes are just as unframed as the syscall.
+  std::size_t append_buffered(const void* data, std::size_t len) {
+    // lint-expect: durable-write-checksummed
+    return fwrite(data, 1, len, stream);
+  }
+
+  // Positioned writes can silently overwrite a checksummed frame with
+  // unchecksummed bytes — flagged like the rest of the family.
+  void patch_in_place(const void* data, std::size_t len) {
+    // lint-expect: durable-write-checksummed
+    (void)::pwrite(fd, data, len, 0);
+  }
+};

@@ -1,0 +1,39 @@
+// Clean fixture for rule `durable-write-checksummed`: the shapes the
+// rule must NOT flag on the durable path — the raw write(2) inside the
+// one sanctioned site (File::write_fully), calls routed through the
+// frame writer, and declarations of methods that merely *contain* the
+// word write.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <unistd.h>
+
+struct GoodFile {
+  int fd = -1;
+
+  // The single sanctioned raw-write site: the frame writer's backend.
+  // Its body is exempt by name, mirroring File::write_fully in
+  // util/io.hpp.
+  void write_fully(const void* data, std::size_t len) {
+    const char* p = static_cast<const char*>(data);
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, p + off, len - off);
+      if (n > 0) off += static_cast<std::size_t>(n);
+    }
+  }
+
+  // A declaration whose name embeds `write` is not a raw call.
+  void write_frame(const std::vector<unsigned char>& payload) {
+    write_fully(payload.data(), payload.size());
+  }
+};
+
+// Durable appends that go through the frame writer: every byte gets a
+// length prefix and a CRC32C, so recovery can classify the tail.
+inline void append_record(GoodFile& f,
+                          const std::vector<unsigned char>& payload) {
+  f.write_frame(payload);
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """i2a lint — repo-specific rules the thread-safety annotations can't express.
 
-Four rules, each guarding an invariant the serving core documents
+Five rules, each guarding an invariant the serving core documents
 (DESIGN.md §10–§11) but no compiler flag checks:
 
   commit-noexcept            commit-phase functions (`commit_*`) must be
@@ -20,6 +20,14 @@ Four rules, each guarding an invariant the serving core documents
                              declare by-value `std::shared_ptr` locals:
                              a refcount bump per row is a shared cache
                              line bounce on the hottest read path.
+  durable-write-checksummed  the durable path (util/io.hpp, stream/
+                             wal.hpp, stream/checkpoint.hpp) may issue a
+                             raw write(2)-family call ONLY inside
+                             File::write_fully — every durable byte must
+                             flow through the frame writer so each
+                             record is length-prefixed and CRC32C-
+                             checksummed, else a torn or corrupt tail is
+                             undetectable at recovery (DESIGN.md §12).
 
 Escapes: a comment `// i2a-lint: allow(<rule>): <reason>` on or above
 the flagged line suppresses that rule there; the reason is mandatory by
@@ -51,6 +59,7 @@ RULES = (
     "bare-mutex-member",
     "kernel-entry-expects",
     "sharedptr-copy-in-hot-loop",
+    "durable-write-checksummed",
 )
 
 # Kernel entry points that must open with I2A_EXPECTS, and how deep into
@@ -62,6 +71,13 @@ KERNEL_EXPECTS_WINDOW = 25
 
 # Row-fold inner loops where a by-value shared_ptr is a per-row atomic.
 HOT_LOOP_NAMES = ("fold_row", "for_each_in_row", "merge_row_k")
+
+# The durable path: headers where every byte written must be framed and
+# checksummed. Matched by path suffix so the rule stays silent on the
+# rest of the tree (in-memory code writes nothing durable).
+DURABLE_PATH_SUFFIXES = ("util/io.hpp", "stream/wal.hpp",
+                         "stream/checkpoint.hpp")
+DURABLE_FIXTURE_PREFIX = "durable_write_checksummed_"
 
 ALLOW_RE = re.compile(r"i2a-lint:\s*allow\(([a-z0-9-]+)\)")
 EXPECT_RE = re.compile(r"lint-expect:\s*([a-z0-9-]+)")
@@ -330,11 +346,41 @@ def rule_sharedptr_copy_in_hot_loop(path, code, out):
                     "pointer/reference (the caller's handles pin the runs)"))
 
 
+RAW_WRITE_RE = re.compile(r"\b(write|pwrite|fwrite|writev|pwritev)\s*\(")
+
+
+def rule_durable_write_checksummed(path, code, out):
+    norm = path.replace(os.sep, "/")
+    if not (norm.endswith(DURABLE_PATH_SUFFIXES)
+            or os.path.basename(norm).startswith(DURABLE_FIXTURE_PREFIX)):
+        return
+    # The single sanctioned raw-write site: the body of File::write_fully
+    # (the frame writer's backend). Everything else in these files must
+    # go through write_frame.
+    exempt = [(body_start, body_end)
+              for _name, _pos, body_start, body_end in find_function_sites(
+                  code, ["write_fully"])
+              if body_start is not None]
+    for m in RAW_WRITE_RE.finditer(code):
+        if any(s <= m.start() < e for s, e in exempt):
+            continue
+        if classify_name_use(code, m.start()) != "call":
+            continue  # a declaration of a method named `write` is not a call
+        out.append(Violation(
+            path, line_of(code, m.start()), "durable-write-checksummed",
+            f"raw {m.group(1)}() call on the durable path outside "
+            "File::write_fully — durable bytes must flow through "
+            "write_frame so every record is length-prefixed and "
+            "CRC32C-checksummed (else a torn/corrupt tail is "
+            "undetectable at recovery)"))
+
+
 RULE_FUNCS = {
     "commit-noexcept": rule_commit_noexcept,
     "bare-mutex-member": rule_bare_mutex_member,
     "kernel-entry-expects": rule_kernel_entry_expects,
     "sharedptr-copy-in-hot-loop": rule_sharedptr_copy_in_hot_loop,
+    "durable-write-checksummed": rule_durable_write_checksummed,
 }
 
 
